@@ -1,0 +1,144 @@
+// Command minic is the standalone MiniC compiler driver: it parses,
+// checks, lowers, and optionally runs MiniC programs, with dump stages
+// for every compiler phase (tokens, AST pretty-print, CFG, Ball-Larus
+// numbering). It is the debugging companion to the fuzzing tools.
+//
+// Usage:
+//
+//	minic -src prog.mc -run -input 'bytes'
+//	minic -src prog.mc -dump cfg
+//	minic -subject gdk -dump paths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balllarus"
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/subjects"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		srcPath     = flag.String("src", "", "MiniC source file")
+		subjectName = flag.String("subject", "", "benchmark subject instead of -src")
+		dump        = flag.String("dump", "", "dump stage: tokens|ast|cfg|paths")
+		run         = flag.Bool("run", false, "execute main(input)")
+		inputStr    = flag.String("input", "", "input bytes for -run")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *subjectName != "":
+		sub := subjects.Get(*subjectName)
+		if sub == nil {
+			fatalf("unknown subject %q", *subjectName)
+		}
+		src = sub.Source
+	case *srcPath != "":
+		b, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = string(b)
+	default:
+		fatalf("one of -src or -subject is required")
+	}
+
+	switch *dump {
+	case "tokens":
+		toks, errs := lang.LexAll(src)
+		for _, tok := range toks {
+			fmt.Printf("%-8s %s\n", tok.Pos, tok)
+		}
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return
+	case "ast":
+		prog, err := lang.Parse(src)
+		if err != nil {
+			fatalf("parse: %v", err)
+		}
+		fmt.Print(lang.Print(prog))
+		return
+	}
+
+	prog, err := cfg.Compile(src)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+
+	switch *dump {
+	case "cfg":
+		for _, f := range prog.Funcs {
+			fmt.Print(f.String())
+			for i, e := range f.Edges {
+				back := ""
+				if f.BackEdge[i] {
+					back = " (back)"
+				}
+				fmt.Printf("    edge %d: b%d -> b%d%s\n", i, e.From, e.To, back)
+			}
+		}
+		return
+	case "paths":
+		for _, f := range prog.Funcs {
+			enc, err := balllarus.Encode(f)
+			if err != nil {
+				fmt.Printf("%-20s (hash fallback: %v)\n", f.Name, err)
+				continue
+			}
+			fmt.Printf("%-20s %d acyclic paths\n", f.Name, enc.NumPaths)
+			if enc.NumPaths <= 32 {
+				for id := uint64(0); id < enc.NumPaths; id++ {
+					steps, err := enc.Regenerate(id)
+					if err != nil {
+						fatalf("regenerate: %v", err)
+					}
+					fmt.Printf("    path %2d:", id)
+					for _, s := range steps {
+						tag := ""
+						if s.EnterViaBackEdge {
+							tag = "^"
+						}
+						if s.ExitViaBackEdge {
+							tag += "$"
+						}
+						fmt.Printf(" b%d%s", s.Block, tag)
+					}
+					fmt.Println()
+				}
+			}
+		}
+		return
+	case "":
+	default:
+		fatalf("unknown dump stage %q", *dump)
+	}
+
+	if *run {
+		res := vm.Run(prog, "main", []byte(*inputStr), vm.NullTracer{}, vm.DefaultLimits())
+		fmt.Printf("status=%v ret=%d steps=%d\n", res.Status, res.Ret, res.Steps)
+		for _, v := range res.Output {
+			fmt.Printf("out: %d\n", v)
+		}
+		if res.Crash != nil {
+			fmt.Println(res.Crash)
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Printf("ok: %d functions, %d blocks, %d edges\n",
+		len(prog.Funcs), prog.NumBlocks(), prog.NumEdges())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "minic: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command pafuzz fuzzes a MiniC program (a benchmark subject or a .mc
+// source file) with a chosen feedback/strategy configuration — the
+// afl-fuzz analogue of this reproduction.
+//
+// Usage:
+//
+//	pafuzz -subject flvmeta -fuzzer cull -budget 200000
+//	pafuzz -src prog.mc -fuzzer path -seed-input seeds.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/strategy"
+	"repro/internal/subjects"
+)
+
+func main() {
+	var (
+		subjectName = flag.String("subject", "", "benchmark subject to fuzz (see -list)")
+		srcPath     = flag.String("src", "", "MiniC source file to fuzz instead of a subject")
+		fuzzerName  = flag.String("fuzzer", "path", "configuration: path|pcguard|cull|cull_r|opp|pathafl|afl")
+		budget      = flag.Int64("budget", 200000, "execution budget (the wall-clock analogue)")
+		roundBudget = flag.Int64("round", 0, "culling round budget (default budget/8)")
+		seed        = flag.Int64("seed", 1, "campaign RNG seed")
+		list        = flag.Bool("list", false, "list benchmark subjects and exit")
+		showCrash   = flag.Bool("crashes", false, "print full reports for unique crashes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range subjects.All() {
+			fmt.Printf("%-10s %-6s %d planted bugs, %d seeds\n", s.Name, s.TypeLabel, len(s.Bugs), len(s.Seeds))
+		}
+		return
+	}
+
+	var (
+		target *core.Target
+		seeds  [][]byte
+		err    error
+	)
+	switch {
+	case *subjectName != "":
+		sub := subjects.Get(*subjectName)
+		if sub == nil {
+			fatalf("unknown subject %q (use -list)", *subjectName)
+		}
+		prog, perr := sub.Program()
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		target = core.FromProgram(prog)
+		seeds = sub.Seeds
+	case *srcPath != "":
+		src, rerr := os.ReadFile(*srcPath)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		target, err = core.Compile(string(src))
+		if err != nil {
+			fatalf("compile: %v", err)
+		}
+		seeds = [][]byte{[]byte("seed")}
+	default:
+		fatalf("one of -subject or -src is required (or -list)")
+	}
+
+	out, err := target.Fuzz(core.Campaign{
+		Fuzzer:      strategy.Name(*fuzzerName),
+		Budget:      *budget,
+		RoundBudget: *roundBudget,
+		Seeds:       seeds,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	rep := out.Report
+	fmt.Printf("fuzzer=%s execs=%d queue=%d favored=%d timeouts=%d crashes=%d rounds=%d\n",
+		*fuzzerName, rep.Stats.Execs, rep.QueueLen, rep.FavoredLen,
+		rep.Stats.Timeouts, rep.Stats.CrashExecs, out.Rounds)
+	fmt.Printf("unique crashes (stack hash): %d\n", len(rep.Crashes))
+	keys := rep.BugKeys()
+	fmt.Printf("unique bugs (ground truth): %d\n", len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		rec := rep.Bugs[k]
+		fmt.Printf("  %-40s x%d (first at exec %d)\n", k, rec.Count, rec.FoundAt)
+	}
+	if *showCrash {
+		for _, rec := range rep.Crashes {
+			fmt.Printf("\n%s\n  input: %q\n", rec.Crash, rec.Input)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pafuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,283 @@
+package cfg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/langgen"
+)
+
+func compile(t testing.TB, src string) *cfg.Program {
+	t.Helper()
+	p, err := cfg.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestStraightLine(t *testing.T) {
+	p := compile(t, `func main(input) { var x = 1; x = x + 2; return x; }`)
+	f := p.Func("main")
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(f.Blocks))
+	}
+	if len(f.Edges) != 0 {
+		t.Errorf("edges = %d, want 0", len(f.Edges))
+	}
+	if f.Blocks[0].Term.Kind != cfg.TermRet {
+		t.Error("terminator is not a return")
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var x = 0;
+        if (len(input) > 2) { x = 1; } else { x = 2; }
+        return x;
+    }`)
+	f := p.Func("main")
+	// entry(Br), then, else, join -> 4 blocks, 4 edges, no back edges.
+	if len(f.Blocks) != 4 || len(f.Edges) != 4 {
+		t.Errorf("blocks=%d edges=%d, want 4/4\n%s", len(f.Blocks), len(f.Edges), f)
+	}
+	if f.NumBackEdges() != 0 {
+		t.Errorf("back edges = %d", f.NumBackEdges())
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var i = 0;
+        while (i < 10) { i = i + 1; }
+        return i;
+    }`)
+	f := p.Func("main")
+	if f.NumBackEdges() != 1 {
+		t.Fatalf("back edges = %d, want 1\n%s", f.NumBackEdges(), f)
+	}
+	// The back edge must target the loop header (the block with the
+	// conditional branch).
+	for i, isBack := range f.BackEdge {
+		if !isBack {
+			continue
+		}
+		hdr := f.Edges[i].To
+		if f.Blocks[hdr].Term.Kind != cfg.TermBr {
+			t.Errorf("back edge targets b%d which is not a conditional header", hdr)
+		}
+	}
+}
+
+func TestForContinueBreak(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var s = 0;
+        for (var i = 0; i < 10; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            s = s + i;
+        }
+        return s;
+    }`)
+	f := p.Func("main")
+	if f.NumBackEdges() != 1 {
+		t.Errorf("back edges = %d, want 1", f.NumBackEdges())
+	}
+	if _, err := f.TopoOrder(); err != nil {
+		t.Errorf("topo order: %v", err)
+	}
+}
+
+func TestDeadCodePruned(t *testing.T) {
+	p := compile(t, `func main(input) {
+        return 1;
+        out(2);
+        out(3);
+    }`)
+	f := p.Func("main")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == cfg.OpBuiltin && in.Callee == cfg.BOut {
+				t.Error("dead out() call survived pruning")
+			}
+		}
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	p := compile(t, `func main(input) {
+        if (len(input) > 1 && input[0] == 'x') { return 1; }
+        return 0;
+    }`)
+	f := p.Func("main")
+	// && lowers to a diamond: more than the 4 blocks of a plain if.
+	if len(f.Blocks) < 6 {
+		t.Errorf("short-circuit produced only %d blocks:\n%s", len(f.Blocks), f)
+	}
+	// Crucially, the RHS (with the potentially trapping load) must be
+	// in its own block reachable only from the LHS-true edge; this is
+	// verified behaviourally in the vm tests, structurally here:
+	if f.NumBackEdges() != 0 {
+		t.Errorf("unexpected back edges")
+	}
+}
+
+func TestEdgeIndicesConsistent(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var s = 0;
+        for (var i = 0; i < len(input); i = i + 1) {
+            if (input[i] > 64) { s = s + 1; } else { s = s - 1; }
+        }
+        return s;
+    }`)
+	for _, f := range p.Funcs {
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			switch b.Term.Kind {
+			case cfg.TermJmp:
+				e := f.Edges[b.EdgeThen]
+				if e.From != bi || e.To != b.Term.Then {
+					t.Errorf("b%d: jmp edge mismatch", bi)
+				}
+				if b.EdgeElse != -1 {
+					t.Errorf("b%d: jmp has else edge", bi)
+				}
+			case cfg.TermBr:
+				et, ee := f.Edges[b.EdgeThen], f.Edges[b.EdgeElse]
+				if et.From != bi || et.To != b.Term.Then || ee.From != bi || ee.To != b.Term.Else {
+					t.Errorf("b%d: br edges mismatch", bi)
+				}
+			case cfg.TermRet:
+				if b.EdgeThen != -1 || b.EdgeElse != -1 {
+					t.Errorf("b%d: ret has edges", bi)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopDepths(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var s = 0;
+        for (var i = 0; i < 3; i = i + 1) {
+            for (var j = 0; j < 3; j = j + 1) {
+                s = s + 1;
+            }
+        }
+        return s;
+    }`)
+	f := p.Func("main")
+	maxDepth := 0
+	for _, d := range f.LoopDepth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 2 {
+		t.Errorf("max loop depth = %d, want 2", maxDepth)
+	}
+}
+
+func TestTopoOrderProperties(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var s = 0;
+        while (s < len(input)) {
+            if (input[s] > 9) { s = s + 2; } else { s = s + 1; }
+        }
+        return s;
+    }`)
+	f := p.Func("main")
+	order, err := f.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(f.Blocks) {
+		t.Fatalf("order covers %d of %d blocks", len(order), len(f.Blocks))
+	}
+	posOf := make([]int, len(f.Blocks))
+	for i, b := range order {
+		posOf[b] = i
+	}
+	for i, e := range f.Edges {
+		if f.BackEdge[i] {
+			continue
+		}
+		if posOf[e.From] >= posOf[e.To] {
+			t.Errorf("edge b%d->b%d violates topo order", e.From, e.To)
+		}
+	}
+	if order[0] != 0 {
+		t.Errorf("entry is not first in topo order")
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := compile(t, `func a(x) { return x; } func main(input) { return a(1); }`)
+	if p.Func("a") == nil || p.Func("nope") != nil {
+		t.Error("Func lookup wrong")
+	}
+	if p.NumEdges() < 0 || p.NumBlocks() < 2 {
+		t.Error("counts wrong")
+	}
+	// Call resolves to the right function index.
+	f := p.Func("main")
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == cfg.OpCall {
+				found = true
+				if p.Funcs[in.Callee].Name != "a" {
+					t.Errorf("call resolved to %s", p.Funcs[in.Callee].Name)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no call instruction lowered")
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := cfg.Compile(`func main(input) { return x; }`); err == nil {
+		t.Error("sema error not propagated")
+	}
+	if _, err := cfg.Compile(`not a program`); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+// TestRandomProgramsCompile is the frontend property test: every
+// generated program must lower successfully with consistent CFG
+// invariants.
+func TestRandomProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := langgen.Generate(rng, langgen.Default())
+		p, err := cfg.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		for _, f := range p.Funcs {
+			if _, err := f.TopoOrder(); err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, f.Name, err)
+			}
+			// Every block index referenced by terminators is in range.
+			for bi := range f.Blocks {
+				tm := f.Blocks[bi].Term
+				check := func(x int) {
+					if x < 0 || x >= len(f.Blocks) {
+						t.Fatalf("seed %d: %s: b%d target out of range", seed, f.Name, bi)
+					}
+				}
+				switch tm.Kind {
+				case cfg.TermJmp:
+					check(tm.Then)
+				case cfg.TermBr:
+					check(tm.Then)
+					check(tm.Else)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// analyze enumerates CFG edges, wires the per-block edge indices,
+// detects loop back edges, and computes loop depths.
+func analyze(f *Func) error {
+	f.Edges = f.Edges[:0]
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		b.EdgeThen, b.EdgeElse = -1, -1
+		switch b.Term.Kind {
+		case TermJmp:
+			b.EdgeThen = len(f.Edges)
+			f.Edges = append(f.Edges, Edge{From: i, To: b.Term.Then})
+		case TermBr:
+			if b.Term.Then == b.Term.Else {
+				return fmt.Errorf("block b%d: conditional branch with identical targets", i)
+			}
+			b.EdgeThen = len(f.Edges)
+			f.Edges = append(f.Edges, Edge{From: i, To: b.Term.Then})
+			b.EdgeElse = len(f.Edges)
+			f.Edges = append(f.Edges, Edge{From: i, To: b.Term.Else})
+		case TermRet:
+		default:
+			return errors.New("block with unknown terminator")
+		}
+	}
+	markBackEdges(f)
+	computeLoopDepths(f)
+	return nil
+}
+
+// Successors returns the outgoing edge indices of block b (0, 1, or 2).
+func (f *Func) Successors(b int) []int {
+	blk := &f.Blocks[b]
+	switch {
+	case blk.EdgeThen < 0:
+		return nil
+	case blk.EdgeElse < 0:
+		return []int{blk.EdgeThen}
+	default:
+		return []int{blk.EdgeThen, blk.EdgeElse}
+	}
+}
+
+// markBackEdges labels edges whose target is on the DFS stack when
+// first seen (the classic definition; for the reducible CFGs produced
+// by MiniC's structured control flow these are exactly the loop back
+// edges).
+func markBackEdges(f *Func) {
+	f.BackEdge = make([]bool, len(f.Edges))
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(f.Blocks))
+	// Iterative DFS: each stack frame tracks which successor edge to
+	// visit next.
+	type frame struct {
+		block int
+		next  int
+	}
+	stack := []frame{{block: 0}}
+	color[0] = grey
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succ := f.Successors(top.block)
+		if top.next >= len(succ) {
+			color[top.block] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		eIdx := succ[top.next]
+		top.next++
+		to := f.Edges[eIdx].To
+		switch color[to] {
+		case grey:
+			f.BackEdge[eIdx] = true
+		case white:
+			color[to] = grey
+			stack = append(stack, frame{block: to})
+		}
+	}
+}
+
+// computeLoopDepths assigns each block the number of natural loops that
+// contain it. For a back edge v->w the natural loop is {w} plus every
+// block that reaches v without passing through w.
+func computeLoopDepths(f *Func) {
+	f.LoopDepth = make([]int, len(f.Blocks))
+	preds := make([][]int, len(f.Blocks))
+	for _, e := range f.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+	for i, isBack := range f.BackEdge {
+		if !isBack {
+			continue
+		}
+		v, w := f.Edges[i].From, f.Edges[i].To
+		in := make([]bool, len(f.Blocks))
+		in[w] = true
+		stack := []int{}
+		if !in[v] {
+			in[v] = true
+			stack = append(stack, v)
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range preds[b] {
+				if !in[p] {
+					in[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for b, ok := range in {
+			if ok {
+				f.LoopDepth[b]++
+			}
+		}
+	}
+}
+
+// TopoOrder returns a topological order of the blocks over the DAG
+// obtained by ignoring back edges. It errors if a cycle remains (an
+// irreducible region whose retreating edges were not all classified as
+// back edges), which cannot happen for CFGs built from MiniC's
+// structured statements but is guarded against for robustness.
+func (f *Func) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(f.Blocks))
+	for i, e := range f.Edges {
+		if !f.BackEdge[i] {
+			indeg[e.To]++
+		}
+	}
+	var order []int
+	var queue []int
+	for b := range f.Blocks {
+		if indeg[b] == 0 {
+			queue = append(queue, b)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		order = append(order, b)
+		for _, eIdx := range f.Successors(b) {
+			if f.BackEdge[eIdx] {
+				continue
+			}
+			to := f.Edges[eIdx].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(f.Blocks) {
+		return nil, fmt.Errorf("function %s: cycle remains after removing back edges", f.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,83 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+func TestFuncString(t *testing.T) {
+	p := compile(t, `
+func main(input) {
+    var x = 1;
+    if (len(input) > 0) { x = input[0]; } else { x = alloc(4); }
+    out(x);
+    return x;
+}`)
+	s := p.Func("main").String()
+	for _, want := range []string{"func main", "b0:", "br s", "jmp b", "ret", "builtin#", "= 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CFG dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   cfg.Instr
+		want string
+	}{
+		{cfg.Instr{Op: cfg.OpConst, Dst: 1, Imm: 42}, "s1 = 42"},
+		{cfg.Instr{Op: cfg.OpStr, Dst: 2, Str: "hi"}, `s2 = "hi"`},
+		{cfg.Instr{Op: cfg.OpMove, Dst: 3, A: 4}, "s3 = s4"},
+		{cfg.Instr{Op: cfg.OpLoad, Dst: 1, A: 2, B: 3}, "s1 = s2[s3]"},
+		{cfg.Instr{Op: cfg.OpStore, A: 1, B: 2, C: 3}, "s1[s2] = s3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRetBlocks(t *testing.T) {
+	p := compile(t, `
+func main(input) {
+    if (len(input) > 0) { return 1; }
+    return 2;
+}`)
+	f := p.Func("main")
+	if got := len(f.RetBlocks()); got != 2 {
+		t.Errorf("ret blocks = %d, want 2", got)
+	}
+	for _, b := range f.RetBlocks() {
+		if f.Blocks[b].Term.Kind != cfg.TermRet {
+			t.Errorf("b%d is not a return block", b)
+		}
+	}
+}
+
+func TestBuiltinLoweringIDs(t *testing.T) {
+	p := compile(t, `func main(input) {
+        var a = alloc(3);
+        assert(len(a) == 3);
+        out(abs(min(max(1, 2), 0 - 3)));
+        return 0;
+    }`)
+	seen := map[int]bool{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == cfg.OpBuiltin {
+					seen[in.Callee] = true
+				}
+			}
+		}
+	}
+	for _, id := range []int{cfg.BAlloc, cfg.BLen, cfg.BAssert, cfg.BOut, cfg.BAbs, cfg.BMin, cfg.BMax} {
+		if !seen[id] {
+			t.Errorf("builtin id %d not lowered", id)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package evalharness runs the paper's evaluation end to end: multi-run
+// campaigns for every ⟨subject, fuzzer⟩ pair, with renderers that
+// regenerate each table and figure of the paper from the collected
+// data. Budgets are execution counts (the deterministic analogue of the
+// paper's 48-hour runs); campaigns are independent and run in parallel
+// across a worker pool, while each individual campaign is fully
+// deterministic given its seed.
+package evalharness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/fuzz"
+	"repro/internal/strategy"
+	"repro/internal/subjects"
+	"repro/internal/triage"
+	"repro/internal/vm"
+)
+
+// Config parameterises a suite run.
+type Config struct {
+	// Subjects to evaluate (default: all 18).
+	Subjects []string
+	// Fuzzers to evaluate (default: all 7 configurations).
+	Fuzzers []strategy.Name
+	// Runs per pair (the paper uses 10).
+	Runs int
+	// Budget is the per-run execution budget (the 48-hour analogue).
+	Budget int64
+	// RoundBudget is the culling round length (default Budget/8, the
+	// 6-hours-of-48 analogue).
+	RoundBudget int64
+	// MapSize overrides the coverage map size.
+	MapSize int
+	// BaseSeed seeds run r of every campaign with BaseSeed+r.
+	BaseSeed int64
+	// Workers caps parallelism (default NumCPU).
+	Workers int
+	// Progress, when non-nil, receives one line per finished campaign.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Subjects) == 0 {
+		c.Subjects = subjects.Names()
+	}
+	if len(c.Fuzzers) == 0 {
+		c.Fuzzers = strategy.AllNames
+	}
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	if c.Budget <= 0 {
+		c.Budget = 100000
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// RunResult is one finished campaign.
+type RunResult struct {
+	Subject string
+	Fuzzer  strategy.Name
+	Run     int
+	Report  *fuzz.Report
+	// Phase1 is the edge phase of an opp run (nil otherwise).
+	Phase1 *fuzz.Report
+	Rounds int
+	// EdgeSet is the exact edge coverage of the final queue (the
+	// afl-showmap replay).
+	EdgeSet triage.Set[uint32]
+}
+
+// SuiteResult aggregates a full evaluation.
+type SuiteResult struct {
+	Cfg Config
+	// Results[subject][fuzzer] has Cfg.Runs entries.
+	Results map[string]map[strategy.Name][]*RunResult
+}
+
+// Runs returns the runs for one pair (nil if absent).
+func (s *SuiteResult) Runs(subject string, f strategy.Name) []*RunResult {
+	m, ok := s.Results[subject]
+	if !ok {
+		return nil
+	}
+	return m[f]
+}
+
+// CumulativeBugs unions the ground-truth bug sets across runs.
+func (s *SuiteResult) CumulativeBugs(subject string, f strategy.Name) triage.Set[string] {
+	out := triage.NewSet[string]()
+	for _, rr := range s.Runs(subject, f) {
+		for k := range triage.BugSet(rr.Report) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// CumulativeCrashes unions stack-hash crash sets across runs.
+func (s *SuiteResult) CumulativeCrashes(subject string, f strategy.Name) triage.Set[uint64] {
+	out := triage.NewSet[uint64]()
+	for _, rr := range s.Runs(subject, f) {
+		for k := range triage.CrashSet(rr.Report) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// CumulativeEdges unions exact edge coverage across runs.
+func (s *SuiteResult) CumulativeEdges(subject string, f strategy.Name) triage.Set[uint32] {
+	out := triage.NewSet[uint32]()
+	for _, rr := range s.Runs(subject, f) {
+		for k := range rr.EdgeSet {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// AllBugs unions every fuzzer's cumulative bugs on a subject.
+func (s *SuiteResult) AllBugs(subject string) triage.Set[string] {
+	out := triage.NewSet[string]()
+	for _, f := range s.Cfg.Fuzzers {
+		for k := range s.CumulativeBugs(subject, f) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// RunSuite executes the configured campaigns.
+func RunSuite(cfg Config) (*SuiteResult, error) {
+	cfg = cfg.withDefaults()
+	sr := &SuiteResult{Cfg: cfg, Results: make(map[string]map[strategy.Name][]*RunResult)}
+
+	type job struct {
+		subject string
+		fuzzer  strategy.Name
+		run     int
+	}
+	var jobs []job
+	for _, sub := range cfg.Subjects {
+		if subjects.Get(sub) == nil {
+			return nil, fmt.Errorf("evalharness: unknown subject %q", sub)
+		}
+		sr.Results[sub] = make(map[strategy.Name][]*RunResult)
+		for _, f := range cfg.Fuzzers {
+			sr.Results[sub][f] = make([]*RunResult, cfg.Runs)
+			for r := 0; r < cfg.Runs; r++ {
+				jobs = append(jobs, job{subject: sub, fuzzer: f, run: r})
+			}
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+		ch      = make(chan job)
+	)
+	worker := func() {
+		defer wg.Done()
+		for j := range ch {
+			rr, err := runOne(cfg, j.subject, j.fuzzer, j.run)
+			mu.Lock()
+			if err != nil && firstEr == nil {
+				firstEr = err
+			}
+			if err == nil {
+				sr.Results[j.subject][j.fuzzer][j.run] = rr
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "done %-10s %-8s run %d: %d bugs, %d crashes, queue %d\n",
+						j.subject, j.fuzzer, j.run, len(rr.Report.Bugs), len(rr.Report.Crashes), rr.Report.QueueLen)
+				}
+			}
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go worker()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return sr, nil
+}
+
+func runOne(cfg Config, subject string, f strategy.Name, run int) (*RunResult, error) {
+	sub := subjects.Get(subject)
+	prog, err := sub.Program()
+	if err != nil {
+		return nil, err
+	}
+	sc := strategy.Config{
+		Opts: fuzz.Options{
+			Seed:    cfg.BaseSeed + int64(run)*7919,
+			MapSize: cfg.MapSize,
+			Limits:  vm.DefaultLimits(),
+		},
+		Budget:      cfg.Budget,
+		RoundBudget: cfg.RoundBudget,
+		Seeds:       sub.Seeds,
+	}
+	out, err := strategy.Run(f, prog, sc)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s run %d: %w", subject, f, run, err)
+	}
+	rr := &RunResult{
+		Subject: subject,
+		Fuzzer:  f,
+		Run:     run,
+		Report:  out.Report,
+		Phase1:  out.Phase1,
+		Rounds:  out.Rounds,
+		EdgeSet: triage.NewSet[uint32](),
+	}
+	for id := range fuzz.ShowMap(prog, out.Report.Queue, "main", vm.DefaultLimits()) {
+		rr.EdgeSet.Add(id)
+	}
+	return rr, nil
+}

@@ -1,0 +1,128 @@
+package evalharness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/strategy"
+	"repro/internal/triage"
+)
+
+// TotalBugs unions cumulative bugs across every subject for one fuzzer.
+func (s *SuiteResult) TotalBugs(f strategy.Name) triage.Set[string] {
+	out := triage.NewSet[string]()
+	for _, sub := range s.Cfg.Subjects {
+		for k := range s.CumulativeBugs(sub, f) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// OppRecovery reports the paper's §V-A statistic: how many of the bugs
+// the edge phase (phase 1) found were re-discovered by the path-aware
+// phase, which starts from a crash-stripped queue.
+func (s *SuiteResult) OppRecovery() (phase1, recovered int) {
+	p1 := triage.NewSet[string]()
+	p2 := triage.NewSet[string]()
+	for _, sub := range s.Cfg.Subjects {
+		for _, rr := range s.Runs(sub, strategy.Opp) {
+			if rr == nil || rr.Phase1 == nil {
+				continue
+			}
+			for k := range rr.Phase1.Bugs {
+				p1.Add(k)
+			}
+			for k := range rr.Report.Bugs {
+				p2.Add(k)
+			}
+		}
+	}
+	return p1.Len(), triage.Intersect(p1, p2).Len()
+}
+
+// has reports whether the suite ran fuzzer f.
+func (s *SuiteResult) has(f strategy.Name) bool {
+	for _, g := range s.Cfg.Fuzzers {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary prints the paper's headline claims next to the measured
+// values, in the order §V-A reports them. It degrades gracefully when a
+// fuzzer was not part of the run.
+func (s *SuiteResult) Summary(w io.Writer) {
+	fmt.Fprintln(w, "SUMMARY — headline claims (paper §V) vs this run")
+	get := func(f strategy.Name) triage.Set[string] { return s.TotalBugs(f) }
+	pct := func(a, b int) string {
+		if b == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
+	}
+
+	if s.has(strategy.Path) && s.has(strategy.PCGuard) {
+		path, pcg := get(strategy.Path), get(strategy.PCGuard)
+		onlyPath := triage.Subtract(path, pcg).Len()
+		fmt.Fprintf(w, "  path total %d vs pcguard %d; path-only %d (%s of path's; paper: 14 = 18.2%%)\n",
+			path.Len(), pcg.Len(), onlyPath, pct(onlyPath, path.Len()))
+	}
+	if s.has(strategy.Cull) && s.has(strategy.PCGuard) {
+		cull, pcg := get(strategy.Cull), get(strategy.PCGuard)
+		onlyCull := triage.Subtract(cull, pcg).Len()
+		delta := "-"
+		if pcg.Len() > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(cull.Len()-pcg.Len())/float64(pcg.Len()))
+		}
+		fmt.Fprintf(w, "  cull total %d vs pcguard %d (%s; paper: +10.1%%); cull-only %d (%s; paper: 27.5%%)\n",
+			cull.Len(), pcg.Len(), delta, onlyCull, pct(onlyCull, cull.Len()))
+	}
+	if s.has(strategy.Opp) && s.has(strategy.PCGuard) {
+		opp, pcg := get(strategy.Opp), get(strategy.PCGuard)
+		onlyOpp := triage.Subtract(opp, pcg).Len()
+		fmt.Fprintf(w, "  opp total %d vs pcguard %d; opp-only %d (%s; paper: 19.3%%)\n",
+			opp.Len(), pcg.Len(), onlyOpp, pct(onlyOpp, opp.Len()))
+		p1, rec := s.OppRecovery()
+		fmt.Fprintf(w, "  opp recovered %d of %d phase-1 bugs (%s; paper: 85.5%%)\n", rec, p1, pct(rec, p1))
+	}
+	if s.has(strategy.PathAFL) && s.has(strategy.Cull) {
+		pa, cull := get(strategy.PathAFL), get(strategy.Cull)
+		fmt.Fprintf(w, "  pathafl total %d = %s of cull's %d (paper: 29.5%%)\n",
+			pa.Len(), pct(pa.Len(), cull.Len()), cull.Len())
+	}
+	if s.has(strategy.Path) && s.has(strategy.PCGuard) {
+		// Queue explosion geomeans (Table III headline).
+		var rp []float64
+		for _, sub := range s.Cfg.Subjects {
+			qg := s.medianQueue(sub, strategy.PCGuard)
+			if qg > 0 {
+				rp = append(rp, float64(s.medianQueue(sub, strategy.Path))/float64(qg))
+			}
+		}
+		fmt.Fprintf(w, "  queue growth geomean path/pcguard %.2fx (paper: 4.46x)\n", stats.GeoMean(rp))
+	}
+	if s.has(strategy.Cull) && s.has(strategy.PCGuard) {
+		var rc []float64
+		for _, sub := range s.Cfg.Subjects {
+			qg := s.medianQueue(sub, strategy.PCGuard)
+			if qg > 0 {
+				rc = append(rc, float64(s.medianQueue(sub, strategy.Cull))/float64(qg))
+			}
+		}
+		fmt.Fprintf(w, "  queue growth geomean cull/pcguard %.2fx (paper: 2.22x)\n", stats.GeoMean(rc))
+	}
+	if s.has(strategy.Path) && s.has(strategy.PCGuard) {
+		// Edge coverage totals (Table IV headline: path ~87% of pcguard).
+		tp, tg := 0, 0
+		for _, sub := range s.Cfg.Subjects {
+			tp += s.CumulativeEdges(sub, strategy.Path).Len()
+			tg += s.CumulativeEdges(sub, strategy.PCGuard).Len()
+		}
+		fmt.Fprintf(w, "  edge coverage: path total %d = %s of pcguard's %d (paper: 87.3%%)\n",
+			tp, pct(tp, tg), tg)
+	}
+}

@@ -1,0 +1,687 @@
+// Package fuzz implements the coverage-guided greybox fuzzer used
+// throughout the reproduction: an AFL++-like engine (queue, virgin-bit
+// novelty, favored corpus via greedy set cover, power schedule, havoc
+// and splice mutators, and a cmplog-lite input-to-state stage) whose
+// coverage feedback is pluggable — the single-component substitution
+// the paper makes.
+//
+// Budgets are counted in executions rather than wall-clock time, the
+// deterministic analogue of the paper's 48-hour campaigns, and all
+// randomness flows from one seeded source so campaigns replay exactly.
+package fuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/coverage"
+	"repro/internal/instrument"
+	"repro/internal/vm"
+)
+
+// Profile selects the base-fuzzer capability set.
+type Profile int
+
+// Profiles.
+const (
+	// ProfileAFLPlusPlus is the default: cmplog-lite, dictionaries,
+	// wide interesting values, AFL++ skip probabilities.
+	ProfileAFLPlusPlus Profile = iota
+	// ProfileAFL models the older AFL 2.52b base PathAFL builds on: no
+	// cmplog, no dictionary ops, more conservative energy.
+	ProfileAFL
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// Feedback selects the coverage feedback mechanism.
+	Feedback instrument.Feedback
+	// Instr tunes instrumentation construction.
+	Instr instrument.Config
+	// MapSize is the coverage map size (power of two);
+	// coverage.DefaultMapSize when zero.
+	MapSize int
+	// Entry is the entry function name ("main" when empty).
+	Entry string
+	// Seed seeds the campaign's random source.
+	Seed int64
+	// Limits bounds each execution; vm.DefaultLimits() when zero.
+	Limits vm.Limits
+	// MaxInputLen caps generated inputs (default 512).
+	MaxInputLen int
+	// Profile selects AFL++ vs AFL behaviour.
+	Profile Profile
+	// Dict holds initial dictionary tokens.
+	Dict [][]byte
+	// HistorySamples is the number of (execs, queue-size) samples
+	// recorded for the Figure 2 reproduction (default 64).
+	HistorySamples int
+	// KeepCrashInputs retains the first crashing input per unique
+	// stack hash (default true via New).
+	KeepCrashInputs bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MapSize == 0 {
+		o.MapSize = coverage.DefaultMapSize
+	}
+	if o.Entry == "" {
+		o.Entry = "main"
+	}
+	if o.Limits == (vm.Limits{}) {
+		o.Limits = vm.DefaultLimits()
+	}
+	if o.MaxInputLen == 0 {
+		o.MaxInputLen = 512
+	}
+	if o.HistorySamples == 0 {
+		o.HistorySamples = 64
+	}
+	return o
+}
+
+// Entry is a queue entry: an interesting test case and its metadata.
+type Entry struct {
+	ID   int
+	Data []byte
+	// Cov is the sparse sorted set of classified coverage map indices
+	// the input touches (the trace_mini analogue).
+	Cov []uint32
+	// Steps is the execution cost (the exec-time analogue).
+	Steps int64
+	// Depth is the mutation chain length from the seed corpus.
+	Depth int
+	// FoundAt is the campaign execution counter when the entry was
+	// added.
+	FoundAt int64
+	// Handicap counts queue cycles completed before the entry arrived.
+	Handicap int
+	// Favored marks membership in the favored (set-cover) corpus.
+	Favored   bool
+	WasFuzzed bool
+	// IsSeed marks initial corpus entries.
+	IsSeed bool
+}
+
+// CrashRec aggregates the crashes sharing one stack hash.
+type CrashRec struct {
+	Crash   *vm.Crash
+	Input   []byte
+	Count   int
+	FoundAt int64
+}
+
+// HistPoint samples campaign progress over time.
+type HistPoint struct {
+	Execs     int64
+	QueueLen  int
+	CovCount  int
+	Crashes   int64
+	UniqBugs  int
+	Favored   int
+	PathCount int64 // entries ever added (paths_total analogue)
+}
+
+// Stats aggregates campaign counters.
+type Stats struct {
+	Execs      int64
+	Timeouts   int64
+	CrashExecs int64
+	TotalSteps int64
+	Cycles     int
+	Added      int64
+	// AFLUniqueCrashes counts crashes under AFL's original uniqueness
+	// notion — a crash is "unique" if its execution covered at least
+	// one new coverage tuple relative to prior crashes. The paper's
+	// Appendix C (Table IX) contrasts this over-counting criterion with
+	// stack-hash clustering.
+	AFLUniqueCrashes int64
+}
+
+// Fuzzer is one fuzzing campaign instance.
+type Fuzzer struct {
+	prog   *cfg.Program
+	opts   Options
+	rng    *rand.Rand
+	tracer vm.Tracer
+	cov    *coverage.Map
+	virgin *coverage.Virgin
+	// crashVirgin implements AFL's crash-uniqueness criterion.
+	crashVirgin *coverage.Virgin
+	mut         *mutator
+
+	queue    []*Entry
+	topRated map[uint32]*Entry
+	// pendingFavored counts favored, not-yet-fuzzed entries.
+	pendingFavored int
+
+	// crashes dedups by stack hash (top-5 frames).
+	crashes map[uint64]*CrashRec
+	// bugs dedups by ground-truth bug key.
+	bugs map[string]*CrashRec
+
+	stats   Stats
+	history []HistPoint
+
+	// avgSteps/avgCov track running means for the power schedule.
+	sumSteps int64
+	sumCov   int64
+
+	dictSeen map[string]bool
+}
+
+// New constructs a fuzzer for prog.
+func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
+	opts = opts.withDefaults()
+	if prog.Func(opts.Entry) == nil {
+		return nil, fmt.Errorf("fuzz: program has no entry function %q", opts.Entry)
+	}
+	m := coverage.NewMap(opts.MapSize)
+	tr, err := instrument.New(opts.Feedback, prog, m, opts.Instr)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fuzzer{
+		prog:        prog,
+		opts:        opts,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		tracer:      tr,
+		cov:         m,
+		virgin:      coverage.NewVirgin(opts.MapSize),
+		crashVirgin: coverage.NewVirgin(opts.MapSize),
+		topRated:    make(map[uint32]*Entry),
+		crashes:     make(map[uint64]*CrashRec),
+		bugs:        make(map[string]*CrashRec),
+		dictSeen:    make(map[string]bool),
+	}
+	f.mut = &mutator{
+		rng:    f.rng,
+		maxLen: opts.MaxInputLen,
+		rich:   opts.Profile == ProfileAFLPlusPlus,
+	}
+	for _, tok := range opts.Dict {
+		f.addToken(tok)
+	}
+	return f, nil
+}
+
+// Program returns the program under test.
+func (f *Fuzzer) Program() *cfg.Program { return f.prog }
+
+// Execs returns the campaign execution counter.
+func (f *Fuzzer) Execs() int64 { return f.stats.Execs }
+
+// QueueLen returns the current queue size.
+func (f *Fuzzer) QueueLen() int { return len(f.queue) }
+
+// QueueInputs returns copies of all queue inputs (the saved corpus).
+func (f *Fuzzer) QueueInputs() [][]byte {
+	out := make([][]byte, len(f.queue))
+	for i, e := range f.queue {
+		out[i] = append([]byte(nil), e.Data...)
+	}
+	return out
+}
+
+func (f *Fuzzer) addToken(tok []byte) {
+	if len(tok) == 0 || len(tok) > 32 || len(f.mut.dict) >= 512 {
+		return
+	}
+	k := string(tok)
+	if f.dictSeen[k] {
+		return
+	}
+	f.dictSeen[k] = true
+	f.mut.dict = append(f.mut.dict, append([]byte(nil), tok...))
+}
+
+// execOutcome describes one instrumented execution.
+type execOutcome struct {
+	res     vm.Result
+	novelty coverage.Novelty
+	cov     []uint32
+}
+
+// execute runs one input and folds novelty into the virgin map.
+func (f *Fuzzer) execute(data []byte) execOutcome {
+	f.cov.Reset()
+	res := vm.Run(f.prog, f.opts.Entry, data, f.tracer, f.opts.Limits)
+	f.stats.Execs++
+	f.stats.TotalSteps += res.Steps
+	f.cov.ClassifySparse()
+	nov := f.virgin.MergeSparse(f.cov)
+	out := execOutcome{res: res, novelty: nov}
+	if nov != coverage.NoNew {
+		out.cov = f.cov.Indices()
+	}
+	switch res.Status {
+	case vm.StatusTimeout:
+		f.stats.Timeouts++
+	case vm.StatusCrash:
+		f.stats.CrashExecs++
+		if f.crashVirgin.MergeSparse(f.cov) != coverage.NoNew {
+			f.stats.AFLUniqueCrashes++
+		}
+		f.recordCrash(data, res.Crash)
+	}
+	return out
+}
+
+func (f *Fuzzer) recordCrash(data []byte, c *vm.Crash) {
+	h := c.StackHash(5)
+	if rec, ok := f.crashes[h]; ok {
+		rec.Count++
+	} else {
+		rec := &CrashRec{Crash: c, Count: 1, FoundAt: f.stats.Execs}
+		if f.opts.KeepCrashInputs {
+			rec.Input = append([]byte(nil), data...)
+		}
+		f.crashes[h] = rec
+	}
+	key := c.BugKey()
+	if rec, ok := f.bugs[key]; ok {
+		rec.Count++
+	} else {
+		rec := &CrashRec{Crash: c, Count: 1, FoundAt: f.stats.Execs}
+		if f.opts.KeepCrashInputs {
+			rec.Input = append([]byte(nil), data...)
+		}
+		f.bugs[key] = rec
+	}
+}
+
+// AddSeed executes a seed input and enqueues it if it produced novelty
+// (or unconditionally for the very first seed, so the queue is never
+// empty).
+func (f *Fuzzer) AddSeed(data []byte) {
+	if len(data) > f.opts.MaxInputLen {
+		data = data[:f.opts.MaxInputLen]
+	}
+	out := f.execute(data)
+	if out.res.Status == vm.StatusCrash {
+		// The paper's opportunistic method strips crashing seeds; in
+		// general a crashing seed is recorded but not queued.
+		return
+	}
+	if out.novelty == coverage.NoNew && len(f.queue) > 0 {
+		return
+	}
+	cov := out.cov
+	if cov == nil {
+		cov = f.cov.Indices()
+	}
+	f.enqueue(data, cov, out.res.Steps, 0, true)
+	f.cmplogStage(f.queue[len(f.queue)-1], out.res.Cmps)
+}
+
+func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSeed bool) *Entry {
+	e := &Entry{
+		ID:       len(f.queue),
+		Data:     append([]byte(nil), data...),
+		Cov:      cov,
+		Steps:    steps,
+		Depth:    depth,
+		FoundAt:  f.stats.Execs,
+		Handicap: f.stats.Cycles,
+		IsSeed:   isSeed,
+	}
+	f.queue = append(f.queue, e)
+	f.stats.Added++
+	f.sumSteps += steps
+	f.sumCov += int64(len(cov))
+	f.updateTopRated(e)
+	return e
+}
+
+// updateTopRated implements AFL's top_rated bookkeeping: for every map
+// index the entry covers, it becomes the champion if it is
+// faster-and-smaller (steps * len) than the incumbent. The favored
+// corpus itself is recomputed lazily, once per queue cycle, as AFL's
+// cull_queue does.
+func (f *Fuzzer) updateTopRated(e *Entry) {
+	score := e.Steps * int64(len(e.Data)+1)
+	for _, idx := range e.Cov {
+		cur, ok := f.topRated[idx]
+		if !ok || score < cur.Steps*int64(len(cur.Data)+1) {
+			f.topRated[idx] = e
+		}
+	}
+}
+
+// cullFavored recomputes the favored corpus: a greedy approximation of
+// the minimal set of entries covering every known map index (the
+// paper's "fast approximation fuzzers employ for the expensive set
+// cover problem").
+func (f *Fuzzer) cullFavored() {
+	for _, e := range f.queue {
+		e.Favored = false
+	}
+	indices := make([]uint32, 0, len(f.topRated))
+	for idx := range f.topRated {
+		indices = append(indices, idx)
+	}
+	sort.Slice(indices, func(i, j int) bool { return indices[i] < indices[j] })
+	covered := make(map[uint32]bool, len(indices))
+	f.pendingFavored = 0
+	for _, idx := range indices {
+		if covered[idx] {
+			continue
+		}
+		e := f.topRated[idx]
+		e.Favored = true
+		for _, i := range e.Cov {
+			covered[i] = true
+		}
+		if !e.WasFuzzed {
+			f.pendingFavored++
+		}
+	}
+}
+
+// FavoredInputs returns the favored corpus inputs — the edge-preserving
+// minimal queue the culling strategy retains.
+func (f *Fuzzer) FavoredInputs() [][]byte {
+	var out [][]byte
+	for _, e := range f.queue {
+		if e.Favored {
+			out = append(out, append([]byte(nil), e.Data...))
+		}
+	}
+	return out
+}
+
+// skipProbability mirrors AFL's queue-entry skipping constants.
+func (f *Fuzzer) skip(e *Entry) bool {
+	if e.Favored {
+		return false
+	}
+	switch {
+	case f.pendingFavored > 0:
+		return f.rng.Intn(100) < 99
+	case e.WasFuzzed:
+		return f.rng.Intn(100) < 95
+	default:
+		return f.rng.Intn(100) < 75
+	}
+}
+
+// energy computes the havoc iteration budget for an entry, a compact
+// version of AFL's calculate_score.
+func (f *Fuzzer) energy(e *Entry) int {
+	score := 100.0
+	if n := int64(len(f.queue)); n > 0 {
+		avgSteps := float64(f.sumSteps) / float64(n)
+		switch r := float64(e.Steps) / maxF(avgSteps, 1); {
+		case r > 4:
+			score *= 0.25
+		case r > 2:
+			score *= 0.5
+		case r < 0.5:
+			score *= 2
+		}
+		avgCov := float64(f.sumCov) / float64(n)
+		switch r := float64(len(e.Cov)) / maxF(avgCov, 1); {
+		case r > 1.5:
+			score *= 1.5
+		case r < 0.5:
+			score *= 0.75
+		}
+	}
+	switch {
+	case e.Depth >= 14:
+		score *= 3
+	case e.Depth >= 8:
+		score *= 2
+	case e.Depth >= 4:
+		score *= 1.5
+	}
+	if e.Handicap > 0 {
+		score *= 1.5
+	}
+	limit := 512.0
+	if f.opts.Profile == ProfileAFL {
+		limit = 384
+	}
+	if score > limit {
+		score = limit
+	}
+	if score < 16 {
+		score = 16
+	}
+	return int(score)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// processNew enqueues a novel input produced during fuzzing.
+func (f *Fuzzer) processNew(data []byte, out execOutcome, depth int) {
+	if out.novelty == coverage.NoNew || out.res.Status != vm.StatusOK {
+		return
+	}
+	e := f.enqueue(data, out.cov, out.res.Steps, depth, false)
+	f.cmplogStage(e, out.res.Cmps)
+}
+
+// Fuzz runs the campaign until the execution counter reaches budget.
+// It can be called repeatedly with growing budgets.
+func (f *Fuzzer) Fuzz(budget int64) {
+	if len(f.queue) == 0 {
+		// Never fuzz an empty queue: synthesise a minimal seed.
+		f.AddSeed([]byte("seed"))
+		if len(f.queue) == 0 {
+			// Even the fallback seed crashed; queue it blind so
+			// mutation has a starting point.
+			f.enqueue([]byte("seed"), nil, 1, 0, true)
+		}
+	}
+	sampleEvery := budget / int64(f.opts.HistorySamples)
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	nextSample := f.stats.Execs + sampleEvery
+	for f.stats.Execs < budget {
+		f.cullFavored()
+		qlen := len(f.queue)
+		for qi := 0; qi < qlen && f.stats.Execs < budget; qi++ {
+			e := f.queue[qi]
+			if f.skip(e) {
+				continue
+			}
+			f.fuzzOne(e, budget)
+			if e.Favored && !e.WasFuzzed {
+				f.pendingFavored--
+			}
+			e.WasFuzzed = true
+			for f.stats.Execs >= nextSample {
+				f.sample()
+				nextSample += sampleEvery
+			}
+		}
+		f.stats.Cycles++
+	}
+	f.sample()
+}
+
+func (f *Fuzzer) sample() {
+	f.history = append(f.history, HistPoint{
+		Execs:     f.stats.Execs,
+		QueueLen:  len(f.queue),
+		CovCount:  f.coveredCount(),
+		Crashes:   f.stats.CrashExecs,
+		UniqBugs:  len(f.bugs),
+		Favored:   f.favoredCount(),
+		PathCount: f.stats.Added,
+	})
+}
+
+func (f *Fuzzer) favoredCount() int {
+	n := 0
+	for _, e := range f.queue {
+		if e.Favored {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fuzzer) coveredCount() int {
+	// Count consumed virgin entries indirectly via topRated keys.
+	return len(f.topRated)
+}
+
+// fuzzOne runs the havoc/splice stages for one entry.
+func (f *Fuzzer) fuzzOne(e *Entry, budget int64) {
+	iters := f.energy(e)
+	for i := 0; i < iters && f.stats.Execs < budget; i++ {
+		var cand []byte
+		if len(f.queue) > 1 && f.rng.Intn(100) < 15 {
+			other := f.queue[f.rng.Intn(len(f.queue))]
+			cand = f.mut.splice(e.Data, other.Data)
+		} else {
+			cand = f.mut.havoc(e.Data)
+		}
+		out := f.execute(cand)
+		f.processNew(cand, out, e.Depth+1)
+	}
+}
+
+// cmplogStage is the input-to-state stage run once per new queue entry
+// (AFL++'s cmplog/RedQueen analogue): observed comparison operands are
+// located in the input and replaced with the other side, and compared
+// constants feed the auto-dictionary.
+func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
+	if f.opts.Profile == ProfileAFL {
+		return
+	}
+	attempts := 0
+	const maxAttempts = 48
+	for _, obs := range cmps {
+		if obs.A == obs.B {
+			continue
+		}
+		// Auto-dictionary: constants under comparison become tokens.
+		f.addToken(encodeMin(obs.A))
+		f.addToken(encodeMin(obs.B))
+		for _, dir := range [2][2]int64{{obs.A, obs.B}, {obs.B, obs.A}} {
+			if attempts >= maxAttempts {
+				return
+			}
+			find, repl := dir[0], dir[1]
+			// Length-to-state: conditions on len(input) are satisfied
+			// by resizing rather than byte search.
+			if find == int64(len(e.Data)) && repl >= 0 && repl <= int64(f.opts.MaxInputLen) && find != repl {
+				attempts++
+				f.tryResize(e, int(repl))
+				continue
+			}
+			attempts += f.trySubstitute(e, find, repl, maxAttempts-attempts)
+		}
+	}
+}
+
+func (f *Fuzzer) tryResize(e *Entry, n int) {
+	data := make([]byte, n)
+	copy(data, e.Data)
+	for i := len(e.Data); i < n; i++ {
+		data[i] = byte(f.rng.Intn(256))
+	}
+	out := f.execute(data)
+	f.processNew(data, out, e.Depth+1)
+}
+
+// trySubstitute searches the 1/2/4/8-byte little- and big-endian
+// encodings of find in the input and replaces them with repl, executing
+// each variant. It returns the number of executions spent.
+func (f *Fuzzer) trySubstitute(e *Entry, find, repl int64, allow int) int {
+	spent := 0
+	for _, w := range []int{1, 2, 4, 8} {
+		if spent >= allow {
+			return spent
+		}
+		if !fitsWidth(find, w) || !fitsWidth(repl, w) {
+			continue
+		}
+		fe := encodeWidth(find, w, false)
+		re := encodeWidth(repl, w, false)
+		for _, be := range []bool{false, true} {
+			if w == 1 && be {
+				continue
+			}
+			if be {
+				fe = encodeWidth(find, w, true)
+				re = encodeWidth(repl, w, true)
+			}
+			for p := 0; p+w <= len(e.Data) && spent < allow; p++ {
+				if !bytesEq(e.Data[p:p+w], fe) {
+					continue
+				}
+				data := append([]byte(nil), e.Data...)
+				copy(data[p:], re)
+				out := f.execute(data)
+				f.processNew(data, out, e.Depth+1)
+				spent++
+			}
+		}
+	}
+	return spent
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fitsWidth(v int64, w int) bool {
+	switch w {
+	case 1:
+		return v >= -128 && v <= 255
+	case 2:
+		return v >= -32768 && v <= 65535
+	case 4:
+		return v >= -2147483648 && v <= 4294967295
+	default:
+		return true
+	}
+}
+
+func encodeWidth(v int64, w int, bigEndian bool) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	out := append([]byte(nil), buf[:w]...)
+	if bigEndian {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// encodeMin encodes v in the fewest bytes that hold it (little-endian),
+// for dictionary tokens.
+func encodeMin(v int64) []byte {
+	switch {
+	case v >= 0 && v <= 255:
+		return []byte{byte(v)}
+	case v >= -32768 && v <= 65535:
+		return encodeWidth(v, 2, false)
+	case v >= -2147483648 && v <= 4294967295:
+		return encodeWidth(v, 4, false)
+	default:
+		return encodeWidth(v, 8, false)
+	}
+}

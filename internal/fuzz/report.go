@@ -1,0 +1,120 @@
+package fuzz
+
+import (
+	"sort"
+)
+
+// Report summarises a finished campaign.
+type Report struct {
+	// Stats holds the raw counters.
+	Stats Stats
+	// QueueLen is the final queue size.
+	QueueLen int
+	// Queue holds the final queue inputs.
+	Queue [][]byte
+	// FavoredLen is the size of the favored (edge-preserving minimal)
+	// corpus at the end of the run.
+	FavoredLen int
+	// Crashes lists unique crashes (stack-hash top-5 clustering),
+	// ordered by discovery.
+	Crashes []*CrashRec
+	// Bugs maps ground-truth bug keys (site+kind) to a representative
+	// crash — the analogue of the paper's manually deduplicated unique
+	// bugs.
+	Bugs map[string]*CrashRec
+	// History samples campaign progress (for the Figure 2
+	// reproduction).
+	History []HistPoint
+	// MapCount is the number of coverage map indices ever touched.
+	MapCount int
+}
+
+// Report snapshots the campaign state.
+func (f *Fuzzer) Report() *Report {
+	f.cullFavored()
+	r := &Report{
+		Stats:      f.stats,
+		QueueLen:   len(f.queue),
+		Queue:      f.QueueInputs(),
+		FavoredLen: f.favoredCount(),
+		Bugs:       make(map[string]*CrashRec, len(f.bugs)),
+		History:    append([]HistPoint(nil), f.history...),
+		MapCount:   len(f.topRated),
+	}
+	for _, rec := range f.crashes {
+		r.Crashes = append(r.Crashes, rec)
+	}
+	sort.Slice(r.Crashes, func(i, j int) bool { return r.Crashes[i].FoundAt < r.Crashes[j].FoundAt })
+	for k, rec := range f.bugs {
+		r.Bugs[k] = rec
+	}
+	return r
+}
+
+// BugKeys returns the sorted ground-truth bug keys found.
+func (r *Report) BugKeys() []string {
+	keys := make([]string, 0, len(r.Bugs))
+	for k := range r.Bugs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MergeReports folds multiple campaign reports (e.g. the rounds of a
+// culling run, or repeated trials) into cumulative crash/bug views.
+// Queue/history fields are taken from the last report.
+func MergeReports(reports ...*Report) *Report {
+	if len(reports) == 0 {
+		return &Report{Bugs: map[string]*CrashRec{}}
+	}
+	out := &Report{Bugs: make(map[string]*CrashRec)}
+	crashByHash := make(map[uint64]*CrashRec)
+	for _, r := range reports {
+		out.Stats.Execs += r.Stats.Execs
+		out.Stats.Timeouts += r.Stats.Timeouts
+		out.Stats.CrashExecs += r.Stats.CrashExecs
+		out.Stats.TotalSteps += r.Stats.TotalSteps
+		out.Stats.Cycles += r.Stats.Cycles
+		out.Stats.Added += r.Stats.Added
+		out.Stats.AFLUniqueCrashes += r.Stats.AFLUniqueCrashes
+		for _, rec := range r.Crashes {
+			h := rec.Crash.StackHash(5)
+			if cur, ok := crashByHash[h]; ok {
+				cur.Count += rec.Count
+			} else {
+				cp := *rec
+				crashByHash[h] = &cp
+			}
+		}
+		for k, rec := range r.Bugs {
+			if cur, ok := out.Bugs[k]; ok {
+				cur.Count += rec.Count
+			} else {
+				cp := *rec
+				out.Bugs[k] = &cp
+			}
+		}
+	}
+	for _, rec := range crashByHash {
+		out.Crashes = append(out.Crashes, rec)
+	}
+	sort.Slice(out.Crashes, func(i, j int) bool { return out.Crashes[i].FoundAt < out.Crashes[j].FoundAt })
+	last := reports[len(reports)-1]
+	out.QueueLen = last.QueueLen
+	out.Queue = last.Queue
+	out.FavoredLen = last.FavoredLen
+	out.MapCount = last.MapCount
+	// Histories concatenate with execution counters made cumulative.
+	var base int64
+	for _, r := range reports {
+		for _, h := range r.History {
+			h.Execs += base
+			out.History = append(out.History, h)
+		}
+		if n := len(r.History); n > 0 {
+			base += r.History[n-1].Execs
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package lang
+
+// Node is implemented by every AST node.
+type Node interface {
+	// NodePos returns the source position of the node's first token.
+	NodePos() Pos
+}
+
+// Program is a parsed MiniC compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// Func returns the declared function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+
+	// NumSlots is filled in by semantic analysis: the number of local
+	// variable slots (params + vars) the function needs at run time.
+	NumSlots int
+}
+
+// NodePos implements Node.
+func (f *FuncDecl) NodePos() Pos { return f.Pos }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a local variable with an optional initialiser
+// (defaulting to 0).
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr // may be nil
+
+	// Slot is assigned by semantic analysis.
+	Slot int
+}
+
+// AssignStmt assigns to a variable.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Val  Expr
+
+	// Slot is assigned by semantic analysis.
+	Slot int
+}
+
+// StoreStmt assigns to an array element: name[idx] = val.
+type StoreStmt struct {
+	Pos  Pos
+	Name string
+	Idx  Expr
+	Val  Expr
+
+	// Slot is assigned by semantic analysis.
+	Slot int
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; a nil Cond
+// means "true".
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *VarStmt, *AssignStmt, *StoreStmt, *ExprStmt, or nil
+	Cond Expr // may be nil
+	Post Stmt // may be nil
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function, with an optional value
+// (defaulting to 0).
+type ReturnStmt struct {
+	Pos Pos
+	Val Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// NodePos implementations for statements.
+func (s *BlockStmt) NodePos() Pos    { return s.Pos }
+func (s *VarStmt) NodePos() Pos      { return s.Pos }
+func (s *AssignStmt) NodePos() Pos   { return s.Pos }
+func (s *StoreStmt) NodePos() Pos    { return s.Pos }
+func (s *IfStmt) NodePos() Pos       { return s.Pos }
+func (s *WhileStmt) NodePos() Pos    { return s.Pos }
+func (s *ForStmt) NodePos() Pos      { return s.Pos }
+func (s *ReturnStmt) NodePos() Pos   { return s.Pos }
+func (s *BreakStmt) NodePos() Pos    { return s.Pos }
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+func (s *ExprStmt) NodePos() Pos     { return s.Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*StoreStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// StrLit is a string literal; it evaluates to a fresh array holding the
+// bytes of the string.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// Ident references a variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+
+	// Slot is assigned by semantic analysis.
+	Slot int
+}
+
+// IndexExpr loads an array element: x[idx].
+type IndexExpr struct {
+	Pos Pos
+	X   Expr
+	Idx Expr
+}
+
+// CallExpr calls a declared function or builtin.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr applies a prefix operator: one of MINUS, NOT, TILDE.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr applies a binary operator. LAND and LOR short-circuit and
+// are lowered to control flow by the CFG builder.
+type BinaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+	Y   Expr
+}
+
+// NodePos implementations for expressions.
+func (e *IntLit) NodePos() Pos     { return e.Pos }
+func (e *StrLit) NodePos() Pos     { return e.Pos }
+func (e *Ident) NodePos() Pos      { return e.Pos }
+func (e *IndexExpr) NodePos() Pos  { return e.Pos }
+func (e *CallExpr) NodePos() Pos   { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos  { return e.Pos }
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

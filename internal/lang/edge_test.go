@@ -1,0 +1,94 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestCommentsSkipped(t *testing.T) {
+	toks, errs := lang.LexAll(`
+// line comment
+/* block
+   comment */ func /* inline */ main // trailing
+`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != lang.FUNC || toks[1].Kind != lang.IDENT || toks[2].Kind != lang.EOF {
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestHexAndDecimalBoundaries(t *testing.T) {
+	toks, errs := lang.LexAll("0x7FFFFFFFFFFFFFFF 9223372036854775807")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Val != 9223372036854775807 || toks[1].Val != 9223372036854775807 {
+		t.Errorf("vals: %d %d", toks[0].Val, toks[1].Val)
+	}
+	// Out-of-range literals are diagnosed.
+	if _, errs := lang.LexAll("99999999999999999999"); len(errs) == 0 {
+		t.Error("overflow literal accepted")
+	}
+}
+
+func TestOperatorMaximalMunch(t *testing.T) {
+	toks, _ := lang.LexAll("<<= >>= <= >= == != && || < > ! = & |")
+	want := []lang.Kind{
+		lang.SHL, lang.ASSIGN, lang.SHR, lang.ASSIGN, lang.LE, lang.GE,
+		lang.EQ, lang.NE, lang.LAND, lang.LOR, lang.LT, lang.GT,
+		lang.NOT, lang.ASSIGN, lang.AMP, lang.PIPE, lang.EOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v (stream %v)", i, toks[i].Kind, k, toks)
+		}
+	}
+}
+
+func TestDeeplyNestedExpressionsParse(t *testing.T) {
+	// The parser is recursive; make sure realistic nesting depth works.
+	depth := 200
+	src := "func main(input) { return " + strings.Repeat("(", depth) + "1" +
+		strings.Repeat(")", depth) + "; }"
+	if _, err := lang.Parse(src); err != nil {
+		t.Fatalf("nested parens: %v", err)
+	}
+}
+
+func TestEmptyFunctionAndParams(t *testing.T) {
+	prog, err := lang.Parse("func f() { } func main(input) { f(); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Func("f").Params) != 0 {
+		t.Error("empty parameter list misparsed")
+	}
+	if len(prog.Func("f").Body.Stmts) != 0 {
+		t.Error("empty body misparsed")
+	}
+}
+
+func TestIndexExpressionStatements(t *testing.T) {
+	// A bare a[i]; is legal (the load may trap, which is the point).
+	prog, err := lang.Parse(`func main(input) { input[0]; input[1][2]; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(prog.Func("main").Body.Stmts); n != 3 {
+		t.Errorf("stmts = %d", n)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, errs := lang.LexAll(`"\t\r\0\\"`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Text != "\t\r\x00\\" {
+		t.Errorf("decoded: %q", toks[0].Text)
+	}
+}

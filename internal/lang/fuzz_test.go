@@ -1,0 +1,96 @@
+package lang_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+// Native Go fuzz targets: the MiniC frontend itself is fuzzed — the
+// compiler substrate of a fuzzing paper had better survive its own
+// medicine. Under plain `go test` these run their seed corpora as
+// regression tests; `go test -fuzz FuzzParse ./internal/lang` explores
+// further.
+
+var fuzzSeeds = []string{
+	"",
+	"func main(input) { return 0; }",
+	"func f(a,b) { return a+b; } func main(input) { return f(1,2); }",
+	`func main(input) { var s = "str"; while (1) { break; } return s[0]; }`,
+	"func main(input) { if (1 && 0 || 2) { out(1); } else { out(2); } return 0; }",
+	"func main(input) { for (var i = 0; i < 9; i = i + 1) { continue; } return 0; }",
+	"func main(input) { return 'x' + 0x7fffffffffffffff; }",
+	"func main(input) { return -(-(-1)); }",
+	"}{)(][;;;", "func", "func main(", "/* unterminated",
+	"func main(input) { a[0] = a[a[a[0]]]; }",
+	"func main(input) { return 1 <<<< 2; }",
+	"\x00\xff\xfe", "'", `"`, "//",
+}
+
+// FuzzParse: the parser must never panic and must either error or
+// produce a printable program whose print re-parses.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil || prog == nil {
+			return
+		}
+		printed := lang.Print(prog)
+		if _, err := lang.Parse(printed); err != nil {
+			t.Fatalf("printed program does not re-parse: %v\noriginal: %q\nprinted:\n%s", err, src, printed)
+		}
+	})
+}
+
+// FuzzCompileAndRun: whatever parses and checks must lower and execute
+// without panicking — the VM's sanitizer turns all misbehaviour into
+// reports, never into Go-level faults.
+func FuzzCompileAndRun(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s, []byte("input"))
+	}
+	f.Fuzz(func(t *testing.T, src string, input []byte) {
+		if len(src) > 1<<12 || len(input) > 1<<10 {
+			return
+		}
+		prog, err := cfg.Compile(src)
+		if err != nil {
+			return
+		}
+		lim := vm.DefaultLimits()
+		lim.MaxSteps = 1 << 16 // keep pathological programs quick
+		res := vm.Run(prog, "main", input, vm.NullTracer{}, lim)
+		// Determinism is part of the contract.
+		res2 := vm.Run(prog, "main", input, vm.NullTracer{}, lim)
+		if res.Status != res2.Status || res.Ret != res2.Ret {
+			t.Fatalf("nondeterministic execution of fuzzed program:\n%s", src)
+		}
+	})
+}
+
+// FuzzLexer: the lexer terminates and never panics on arbitrary bytes.
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return
+		}
+		toks, _ := lang.LexAll(string(data))
+		if len(toks) == 0 {
+			t.Fatal("LexAll returned no tokens (EOF missing)")
+		}
+		if toks[len(toks)-1].Kind != lang.EOF {
+			t.Fatal("token stream does not end with EOF")
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package lang_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/langgen"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, errs := lang.LexAll(`func f(a) { var x = 0x2A + 'h'; return x << 2; } // tail`)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var kinds []lang.Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []lang.Kind{
+		lang.FUNC, lang.IDENT, lang.LPAREN, lang.IDENT, lang.RPAREN, lang.LBRACE,
+		lang.VAR, lang.IDENT, lang.ASSIGN, lang.INT, lang.PLUS, lang.INT, lang.SEMI,
+		lang.RETURN, lang.IDENT, lang.SHL, lang.INT, lang.SEMI,
+		lang.RBRACE, lang.EOF,
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestLexValues(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"0x2a", 42},
+		{"0", 0},
+		{"'h'", 104},
+		{`'\n'`, 10},
+		{`'\0'`, 0},
+		{`'\\'`, 92},
+	}
+	for _, c := range cases {
+		toks, errs := lang.LexAll(c.src)
+		if len(errs) > 0 {
+			t.Errorf("%q: errors %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != lang.INT || toks[0].Val != c.want {
+			t.Errorf("%q: got %v (val %d), want INT %d", c.src, toks[0].Kind, toks[0].Val, c.want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, errs := lang.LexAll(`"hi\n\"x\""`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != lang.STR || toks[0].Text != "hi\n\"x\"" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"'unterminated",
+		`"unterminated`,
+		"@",
+		"/* open comment",
+		"'ab'",
+	} {
+		_, errs := lang.LexAll(src)
+		if len(errs) == 0 {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := lang.LexAll("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	prog, err := lang.Parse(`
+func add(a, b) { return a + b; }
+func main(input) {
+    var s = 0;
+    for (var i = 0; i < len(input); i = i + 1) {
+        if (input[i] > 64 && input[i] < 91) { s = s + 1; } else { s = s - 1; }
+    }
+    while (s > 100) { s = s / 2; }
+    return add(s, 1);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("parsed %d funcs", len(prog.Funcs))
+	}
+	if prog.Func("add") == nil || prog.Func("main") == nil {
+		t.Error("function lookup failed")
+	}
+	if got := len(prog.Func("main").Params); got != 1 {
+		t.Errorf("main params = %d", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := lang.Parse(`func main(input) { return 1 + 2 * 3 == 7 && 4 < 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((1 + (2*3)) == 7) && (4 < 5)
+	ret := prog.Func("main").Body.Stmts[0].(*lang.ReturnStmt)
+	top, ok := ret.Val.(*lang.BinaryExpr)
+	if !ok || top.Op != lang.LAND {
+		t.Fatalf("top op = %v", ret.Val)
+	}
+	eq, ok := top.X.(*lang.BinaryExpr)
+	if !ok || eq.Op != lang.EQ {
+		t.Fatalf("left of && = %#v", top.X)
+	}
+	add, ok := eq.X.(*lang.BinaryExpr)
+	if !ok || add.Op != lang.PLUS {
+		t.Fatalf("left of == = %#v", eq.X)
+	}
+	if mul, ok := add.Y.(*lang.BinaryExpr); !ok || mul.Op != lang.STAR {
+		t.Fatalf("right of + = %#v", add.Y)
+	}
+}
+
+func TestParseElseIf(t *testing.T) {
+	prog, err := lang.Parse(`func main(input) {
+        if (1) { return 1; } else if (2) { return 2; } else { return 3; }
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Func("main").Body.Stmts[0].(*lang.IfStmt)
+	if _, ok := ifs.Else.(*lang.IfStmt); !ok {
+		t.Errorf("else-if chain not nested: %#v", ifs.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"func main(input) { return 0 }",    // missing semicolon
+		"func main(input) { if 1 { } }",    // missing parens
+		"func main(input) { var = 3; }",    // missing name
+		"func main(input) { x = ; }",       // missing expr
+		"garbage",                          // not a function
+		"func main(input) { return 0; ",    // unclosed brace
+		"func main(input) { a[1; }",        // unclosed index
+		"func main(input) { for (;;) { } ", // unclosed
+	} {
+		if _, err := lang.Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseRecoversAndReportsMultiple(t *testing.T) {
+	_, err := lang.Parse(`
+func main(input) {
+    var x = ;
+    var y = ;
+    return 0;
+}`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "expected expression"); n < 2 {
+		t.Errorf("expected >=2 diagnostics, got: %v", err)
+	}
+}
+
+func TestPrintRoundTripFixed(t *testing.T) {
+	src := `
+func helper(a, b) { return a * b - 2; }
+func main(input) {
+    var s = "bytes\n";
+    var n = 0;
+    for (var i = 0; i < len(input); i = i + 1) {
+        if (input[i] == 'x' || input[i] == 'y') { n = n + 1; }
+        else { n = n - helper(i, 2); }
+    }
+    while (n > 0 && n < 100) { n = n - 3; }
+    input[0] = n;
+    out(s[0]);
+    return n;
+}`
+	roundTrip(t, src)
+}
+
+// roundTrip checks Print(Parse(src)) reparses to an identical printing
+// (print-normal-form fixpoint).
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse 1: %v", err)
+	}
+	out1 := lang.Print(p1)
+	p2, err := lang.Parse(out1)
+	if err != nil {
+		t.Fatalf("parse 2: %v\nprinted:\n%s", err, out1)
+	}
+	out2 := lang.Print(p2)
+	if out1 != out2 {
+		t.Errorf("printer not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestPrintRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := langgen.Generate(rng, langgen.Default())
+		p1, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, src)
+		}
+		out1 := lang.Print(p1)
+		p2, err := lang.Parse(out1)
+		if err != nil {
+			t.Fatalf("seed %d: printed program does not parse: %v\n%s", seed, err, out1)
+		}
+		if out2 := lang.Print(p2); out1 != out2 {
+			t.Fatalf("seed %d: printer not a fixpoint", seed)
+		}
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	if lang.SHL.String() != "<<" || lang.FUNC.String() != "func" {
+		t.Error("kind names wrong")
+	}
+	if s := (lang.Pos{Line: 3, Col: 7}).String(); s != "3:7" {
+		t.Errorf("pos = %s", s)
+	}
+	if !(lang.Pos{Line: 1, Col: 1}).IsValid() || (lang.Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}

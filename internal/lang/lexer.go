@@ -1,0 +1,326 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Error is a frontend diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns MiniC source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the diagnostics accumulated while scanning.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next scans and returns the next token. At end of input it returns an
+// EOF token (repeatedly, if called again).
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Pos: pos, Text: text}
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: text}
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	two := func(k Kind) Token {
+		l.advance()
+		return Token{Kind: k, Pos: pos}
+	}
+	one := func(k Kind) Token { return Token{Kind: k, Pos: pos} }
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACK)
+	case ']':
+		return one(RBRACK)
+	case ',':
+		return one(COMMA)
+	case ';':
+		return one(SEMI)
+	case '+':
+		return one(PLUS)
+	case '-':
+		return one(MINUS)
+	case '*':
+		return one(STAR)
+	case '/':
+		return one(SLASH)
+	case '%':
+		return one(PCT)
+	case '~':
+		return one(TILDE)
+	case '^':
+		return one(CARET)
+	case '&':
+		if l.peek() == '&' {
+			return two(LAND)
+		}
+		return one(AMP)
+	case '|':
+		if l.peek() == '|' {
+			return two(LOR)
+		}
+		return one(PIPE)
+	case '=':
+		if l.peek() == '=' {
+			return two(EQ)
+		}
+		return one(ASSIGN)
+	case '!':
+		if l.peek() == '=' {
+			return two(NE)
+		}
+		return one(NOT)
+	case '<':
+		if l.peek() == '=' {
+			return two(LE)
+		}
+		if l.peek() == '<' {
+			return two(SHL)
+		}
+		return one(LT)
+	case '>':
+		if l.peek() == '=' {
+			return two(GE)
+		}
+		if l.peek() == '>' {
+			return two(SHR)
+		}
+		return one(GT)
+	}
+	l.errorf(pos, "illegal character %q", string(c))
+	return Token{Kind: ILLEGAL, Pos: pos, Text: string(c)}
+}
+
+func (l *Lexer) scanNumber(pos Pos) Token {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		// Out-of-range literals are diagnosed but tokenised so parsing
+		// can continue.
+		l.errorf(pos, "invalid integer literal %q", text)
+	}
+	return Token{Kind: INT, Pos: pos, Text: text, Val: v}
+}
+
+func (l *Lexer) scanChar(pos Pos) Token {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return Token{Kind: ILLEGAL, Pos: pos}
+	}
+	var v int64
+	c := l.advance()
+	if c == '\\' {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated character literal")
+			return Token{Kind: ILLEGAL, Pos: pos}
+		}
+		e, ok := unescape(l.advance())
+		if !ok {
+			l.errorf(pos, "unknown escape in character literal")
+		}
+		v = int64(e)
+	} else {
+		v = int64(c)
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+		return Token{Kind: ILLEGAL, Pos: pos}
+	}
+	l.advance() // closing quote
+	return Token{Kind: INT, Pos: pos, Text: "'" + string(byte(v)) + "'", Val: v}
+}
+
+func (l *Lexer) scanString(pos Pos) Token {
+	l.advance() // opening quote
+	var buf []byte
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return Token{Kind: ILLEGAL, Pos: pos}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				l.errorf(pos, "unterminated string literal")
+				return Token{Kind: ILLEGAL, Pos: pos}
+			}
+			e, ok := unescape(l.advance())
+			if !ok {
+				l.errorf(pos, "unknown escape in string literal")
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+	}
+	return Token{Kind: STR, Pos: pos, Text: string(buf)}
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return c, false
+}
+
+// LexAll scans the entire input, returning every token up to and
+// including EOF. It is a convenience for tests and tools.
+func LexAll(src string) ([]Token, []error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to MiniC source. The output reparses to a
+// structurally identical AST (a property the tests verify), which makes
+// Print useful both for diagnostics and for the random-program
+// generators used in property-based testing.
+func Print(p *Program) string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	fmt.Fprintf(b, "func %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+	printBlock(b, f.Body, 0)
+	b.WriteByte('\n')
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		indent(b, depth+1)
+		printStmt(b, s, depth+1)
+		b.WriteByte('\n')
+	}
+	indent(b, depth)
+	b.WriteByte('}')
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		printBlock(b, s, depth)
+	case *VarStmt:
+		fmt.Fprintf(b, "var %s", s.Name)
+		if s.Init != nil {
+			b.WriteString(" = ")
+			printExpr(b, s.Init, 0)
+		}
+		b.WriteByte(';')
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = ", s.Name)
+		printExpr(b, s.Val, 0)
+		b.WriteByte(';')
+	case *StoreStmt:
+		fmt.Fprintf(b, "%s[", s.Name)
+		printExpr(b, s.Idx, 0)
+		b.WriteString("] = ")
+		printExpr(b, s.Val, 0)
+		b.WriteByte(';')
+	case *IfStmt:
+		b.WriteString("if (")
+		printExpr(b, s.Cond, 0)
+		b.WriteString(") ")
+		printBlock(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			printStmt(b, s.Else, depth)
+		}
+	case *WhileStmt:
+		b.WriteString("while (")
+		printExpr(b, s.Cond, 0)
+		b.WriteString(") ")
+		printBlock(b, s.Body, depth)
+	case *ForStmt:
+		b.WriteString("for (")
+		if s.Init != nil {
+			printSimple(b, s.Init)
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			printExpr(b, s.Cond, 0)
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			printSimple(b, s.Post)
+		}
+		b.WriteString(") ")
+		printBlock(b, s.Body, depth)
+	case *ReturnStmt:
+		b.WriteString("return")
+		if s.Val != nil {
+			b.WriteByte(' ')
+			printExpr(b, s.Val, 0)
+		}
+		b.WriteByte(';')
+	case *BreakStmt:
+		b.WriteString("break;")
+	case *ContinueStmt:
+		b.WriteString("continue;")
+	case *ExprStmt:
+		printExpr(b, s.X, 0)
+		b.WriteByte(';')
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */", s)
+	}
+}
+
+// printSimple prints a simple statement without a trailing semicolon,
+// for use inside for-clauses.
+func printSimple(b *strings.Builder, s Stmt) {
+	var tmp strings.Builder
+	printStmt(&tmp, s, 0)
+	b.WriteString(strings.TrimSuffix(tmp.String(), ";"))
+}
+
+func printExpr(b *strings.Builder, e Expr, parentPrec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.Val)
+	case *StrLit:
+		fmt.Fprintf(b, "%q", e.Val)
+	case *Ident:
+		b.WriteString(e.Name)
+	case *IndexExpr:
+		printExpr(b, e.X, 6)
+		b.WriteByte('[')
+		printExpr(b, e.Idx, 0)
+		b.WriteByte(']')
+	case *CallExpr:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a, 0)
+		}
+		b.WriteByte(')')
+	case *UnaryExpr:
+		switch e.Op {
+		case MINUS:
+			b.WriteByte('-')
+		case NOT:
+			b.WriteByte('!')
+		case TILDE:
+			b.WriteByte('~')
+		}
+		// Parenthesise the operand unless it is primary-like, so that
+		// --x never prints as an invalid token sequence.
+		b.WriteByte('(')
+		printExpr(b, e.X, 0)
+		b.WriteByte(')')
+	case *BinaryExpr:
+		prec := precedence(e.Op)
+		if prec < parentPrec {
+			b.WriteByte('(')
+		}
+		printExpr(b, e.X, prec)
+		fmt.Fprintf(b, " %s ", e.Op)
+		printExpr(b, e.Y, prec+1)
+		if prec < parentPrec {
+			b.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,171 @@
+// Package lang implements the frontend for MiniC, the small C-like
+// language used as the program-under-test substrate in this reproduction.
+//
+// MiniC is deliberately tiny but expressive enough to write realistic
+// format parsers: 64-bit integer scalars, heap arrays, functions,
+// structured control flow (if/else, while, for, break/continue),
+// short-circuit boolean operators (which lower to control flow and thus
+// create intra-procedural path diversity, exactly the phenomenon the
+// paper studies), character and string literals, and a handful of
+// builtins (alloc, len, assert, abort, ...).
+//
+// The pipeline is Lex -> Parse -> (sema.Check) -> (cfg.Build).
+package lang
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT // foo
+	INT   // 42, 0x2a, 'h'
+	STR   // "RIFF"
+
+	// Keywords.
+	FUNC
+	VAR
+	IF
+	ELSE
+	WHILE
+	FOR
+	RETURN
+	BREAK
+	CONTINUE
+
+	// Punctuation.
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	SEMI   // ;
+
+	// Operators.
+	ASSIGN // =
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	PCT    // %
+	AMP    // &
+	PIPE   // |
+	CARET  // ^
+	SHL    // <<
+	SHR    // >>
+	LAND   // &&
+	LOR    // ||
+	NOT    // !
+	TILDE  // ~
+	EQ     // ==
+	NE     // !=
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+)
+
+var kindNames = map[Kind]string{
+	EOF:      "EOF",
+	ILLEGAL:  "ILLEGAL",
+	IDENT:    "IDENT",
+	INT:      "INT",
+	STR:      "STR",
+	FUNC:     "func",
+	VAR:      "var",
+	IF:       "if",
+	ELSE:     "else",
+	WHILE:    "while",
+	FOR:      "for",
+	RETURN:   "return",
+	BREAK:    "break",
+	CONTINUE: "continue",
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	LBRACK:   "[",
+	RBRACK:   "]",
+	COMMA:    ",",
+	SEMI:     ";",
+	ASSIGN:   "=",
+	PLUS:     "+",
+	MINUS:    "-",
+	STAR:     "*",
+	SLASH:    "/",
+	PCT:      "%",
+	AMP:      "&",
+	PIPE:     "|",
+	CARET:    "^",
+	SHL:      "<<",
+	SHR:      ">>",
+	LAND:     "&&",
+	LOR:      "||",
+	NOT:      "!",
+	TILDE:    "~",
+	EQ:       "==",
+	NE:       "!=",
+	LT:       "<",
+	LE:       "<=",
+	GT:       ">",
+	GE:       ">=",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func":     FUNC,
+	"var":      VAR,
+	"if":       IF,
+	"else":     ELSE,
+	"while":    WHILE,
+	"for":      FOR,
+	"return":   RETURN,
+	"break":    BREAK,
+	"continue": CONTINUE,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw text for IDENT and STR; literal text for INT
+	Val  int64  // decoded value for INT
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, STR:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	case INT:
+		return fmt.Sprintf("INT(%d)", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,55 @@
+package langgen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/langgen"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := langgen.Generate(rand.New(rand.NewSource(9)), langgen.Default())
+	b := langgen.Generate(rand.New(rand.NewSource(9)), langgen.Default())
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := langgen.Generate(rand.New(rand.NewSource(10)), langgen.Default())
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := langgen.Generate(rand.New(rand.NewSource(seed)), langgen.Default())
+		if _, err := cfg.Compile(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGeneratedProgramsHaveMain(t *testing.T) {
+	src := langgen.Generate(rand.New(rand.NewSource(1)), langgen.Default())
+	p, err := cfg.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Func("main") == nil {
+		t.Error("no main function")
+	}
+	if p.Func("safe_load") == nil {
+		t.Error("prelude missing")
+	}
+}
+
+func TestConfigShapes(t *testing.T) {
+	// A bigger config yields (typically) bigger programs.
+	small := langgen.Generate(rand.New(rand.NewSource(3)),
+		langgen.Config{MaxFuncs: 0, MaxStmts: 1, MaxDepth: 1, MaxExprDepth: 1})
+	big := langgen.Generate(rand.New(rand.NewSource(3)),
+		langgen.Config{MaxFuncs: 4, MaxStmts: 8, MaxDepth: 4, MaxExprDepth: 4})
+	if len(big) <= len(small) {
+		t.Errorf("config has no effect on size: %d vs %d", len(small), len(big))
+	}
+}

@@ -1,0 +1,235 @@
+// Package sema implements semantic analysis for MiniC programs: name
+// resolution (binding identifiers to function-local slots), call
+// checking against declared functions and builtins, and structural
+// checks such as break/continue placement.
+//
+// Analysis mutates the AST in place, filling the Slot fields consumed
+// by the CFG builder, and FuncDecl.NumSlots consumed by the VM.
+package sema
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Builtin describes a builtin function callable from MiniC.
+type Builtin struct {
+	Name  string
+	Arity int
+}
+
+// Builtins lists the functions provided by the runtime. Arity -1 would
+// mean variadic; all current builtins are fixed-arity.
+var Builtins = map[string]Builtin{
+	"len":    {Name: "len", Arity: 1},    // array length
+	"alloc":  {Name: "alloc", Arity: 1},  // new zeroed array
+	"assert": {Name: "assert", Arity: 1}, // crash if arg == 0
+	"abort":  {Name: "abort", Arity: 0},  // unconditional crash
+	"abs":    {Name: "abs", Arity: 1},
+	"min":    {Name: "min", Arity: 2},
+	"max":    {Name: "max", Arity: 2},
+	"out":    {Name: "out", Arity: 1}, // append value to the VM output log
+}
+
+// IsBuiltin reports whether name is a builtin function.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}
+
+type checker struct {
+	prog  *lang.Program
+	funcs map[string]*lang.FuncDecl
+	errs  []error
+
+	// Per-function state.
+	scopes    []map[string]int
+	nextSlot  int
+	maxSlot   int
+	loopDepth int
+}
+
+// Check analyses prog, mutating it in place. It returns an error joining
+// every diagnostic found, or nil if the program is well formed.
+func Check(prog *lang.Program) error {
+	c := &checker{prog: prog, funcs: make(map[string]*lang.FuncDecl)}
+	for _, f := range prog.Funcs {
+		if IsBuiltin(f.Name) {
+			c.errorf(f.Pos, "function %q shadows a builtin", f.Name)
+			continue
+		}
+		if prev, dup := c.funcs[f.Name]; dup {
+			c.errorf(f.Pos, "function %q redeclared (previous at %s)", f.Name, prev.Pos)
+			continue
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	if len(c.errs) > 0 {
+		return errors.Join(c.errs...)
+	}
+	return nil
+}
+
+func (c *checker) errorf(pos lang.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]int)) }
+func (c *checker) popScope() {
+	top := c.scopes[len(c.scopes)-1]
+	c.scopes = c.scopes[:len(c.scopes)-1]
+	// Slots from the closed scope can be reused by sibling scopes.
+	c.nextSlot -= len(top)
+}
+
+func (c *checker) declare(pos lang.Pos, name string) int {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "variable %q redeclared in this scope", name)
+		return top[name]
+	}
+	slot := c.nextSlot
+	c.nextSlot++
+	if c.nextSlot > c.maxSlot {
+		c.maxSlot = c.nextSlot
+	}
+	top[name] = slot
+	return slot
+}
+
+func (c *checker) lookup(pos lang.Pos, name string) int {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if slot, ok := c.scopes[i][name]; ok {
+			return slot
+		}
+	}
+	c.errorf(pos, "undefined variable %q", name)
+	return 0
+}
+
+func (c *checker) checkFunc(f *lang.FuncDecl) {
+	c.scopes = nil
+	c.nextSlot = 0
+	c.maxSlot = 0
+	c.loopDepth = 0
+	c.pushScope()
+	for _, p := range f.Params {
+		c.declare(f.Pos, p)
+	}
+	c.checkBlock(f.Body)
+	c.popScope()
+	f.NumSlots = c.maxSlot
+}
+
+func (c *checker) checkBlock(b *lang.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		c.checkBlock(s)
+	case *lang.VarStmt:
+		// The initialiser is resolved before the new name is visible,
+		// matching C scoping for `var x = x;` misuse.
+		if s.Init != nil {
+			c.checkExpr(s.Init)
+		}
+		s.Slot = c.declare(s.Pos, s.Name)
+	case *lang.AssignStmt:
+		c.checkExpr(s.Val)
+		s.Slot = c.lookup(s.Pos, s.Name)
+	case *lang.StoreStmt:
+		c.checkExpr(s.Idx)
+		c.checkExpr(s.Val)
+		s.Slot = c.lookup(s.Pos, s.Name)
+	case *lang.IfStmt:
+		c.checkExpr(s.Cond)
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *lang.WhileStmt:
+		c.checkExpr(s.Cond)
+		c.loopDepth++
+		c.checkBlock(s.Body)
+		c.loopDepth--
+	case *lang.ForStmt:
+		// The init clause introduces a scope covering cond/post/body.
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond)
+		}
+		c.loopDepth++
+		c.checkBlock(s.Body)
+		c.loopDepth--
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.popScope()
+	case *lang.ReturnStmt:
+		if s.Val != nil {
+			c.checkExpr(s.Val)
+		}
+	case *lang.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "break outside loop")
+		}
+	case *lang.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "continue outside loop")
+		}
+	case *lang.ExprStmt:
+		c.checkExpr(s.X)
+	default:
+		c.errorf(s.NodePos(), "unhandled statement %T", s)
+	}
+}
+
+func (c *checker) checkExpr(e lang.Expr) {
+	switch e := e.(type) {
+	case *lang.IntLit, *lang.StrLit:
+	case *lang.Ident:
+		e.Slot = c.lookup(e.Pos, e.Name)
+	case *lang.IndexExpr:
+		c.checkExpr(e.X)
+		c.checkExpr(e.Idx)
+	case *lang.CallExpr:
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		if b, ok := Builtins[e.Name]; ok {
+			if len(e.Args) != b.Arity {
+				c.errorf(e.Pos, "builtin %q takes %d argument(s), got %d", e.Name, b.Arity, len(e.Args))
+			}
+			return
+		}
+		f, ok := c.funcs[e.Name]
+		if !ok {
+			c.errorf(e.Pos, "call to undefined function %q", e.Name)
+			return
+		}
+		if len(e.Args) != len(f.Params) {
+			c.errorf(e.Pos, "function %q takes %d argument(s), got %d", e.Name, len(f.Params), len(e.Args))
+		}
+	case *lang.UnaryExpr:
+		c.checkExpr(e.X)
+	case *lang.BinaryExpr:
+		c.checkExpr(e.X)
+		c.checkExpr(e.Y)
+	default:
+		c.errorf(e.NodePos(), "unhandled expression %T", e)
+	}
+}

@@ -1,0 +1,115 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sema"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sema.Check(prog)
+}
+
+func TestCheckOK(t *testing.T) {
+	err := check(t, `
+func f(a, b) {
+    var x = a + b;
+    { var x = 2; out(x); } // shadowing in an inner block is legal
+    return x;
+}
+func main(input) {
+    for (var i = 0; i < len(input); i = i + 1) {
+        if (input[i] > 0) { continue; }
+        break;
+    }
+    return f(1, 2);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `func main(input) { return x; }`, "undefined variable"},
+		{"undefined assign", `func main(input) { x = 1; return 0; }`, "undefined variable"},
+		{"undefined store", `func main(input) { x[0] = 1; return 0; }`, "undefined variable"},
+		{"undefined func", `func main(input) { return g(); }`, "undefined function"},
+		{"arity", `func f(a) { return a; } func main(input) { return f(1, 2); }`, "takes 1 argument"},
+		{"builtin arity", `func main(input) { return len(); }`, "takes 1 argument"},
+		{"redeclared func", `func f(a) { return 0; } func f(b) { return 1; } func main(input) { return 0; }`, "redeclared"},
+		{"redeclared var", `func main(input) { var x = 1; var x = 2; return x; }`, "redeclared in this scope"},
+		{"shadow builtin", `func len(a) { return 0; } func main(input) { return 0; }`, "shadows a builtin"},
+		{"break outside", `func main(input) { break; }`, "break outside loop"},
+		{"continue outside", `func main(input) { continue; }`, "continue outside loop"},
+		{"init before decl", `func main(input) { var x = x; return 0; }`, "undefined variable"},
+		{"scope exit", `func main(input) { if (1) { var y = 1; out(y); } return y; }`, "undefined variable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := check(t, c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSlotAssignment(t *testing.T) {
+	src := `
+func main(input) {
+    var a = 1;
+    var b = 2;
+    { var c = 3; out(c); }
+    { var d = 4; out(d); }
+    return a + b;
+}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sema.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	// input, a, b occupy 0..2; c and d reuse slot 3 (sibling scopes).
+	if f.NumSlots != 4 {
+		t.Errorf("NumSlots = %d, want 4 (sibling scopes share slots)", f.NumSlots)
+	}
+}
+
+func TestForClauseScope(t *testing.T) {
+	// The for-init variable is scoped to the loop; reuse after is an
+	// error.
+	err := check(t, `
+func main(input) {
+    for (var i = 0; i < 3; i = i + 1) { out(i); }
+    return i;
+}`)
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("for-scope leak: %v", err)
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !sema.IsBuiltin("len") || !sema.IsBuiltin("abort") {
+		t.Error("builtins missing")
+	}
+	if sema.IsBuiltin("main") {
+		t.Error("main is not a builtin")
+	}
+}

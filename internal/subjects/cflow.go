@@ -1,0 +1,212 @@
+package subjects
+
+import "repro/internal/vm"
+
+// cflow models a C call-graph extractor: it tokenizes C-like source and
+// parses function declarations, tracking a token stack. The headline
+// bug reproduces the paper's §V-A cflow case study: an out-of-bounds
+// store to token_stack[curs] where curs creeps to its limit only
+// through repeated executions of the token-skipping path inside
+// declaration parsing — a state progression edge coverage cannot
+// retain.
+const cflowSrc = `
+// cflow: call-graph extractor model.
+// Token kinds: 1=ident 2='(' 3=')' 4='{' 5='}' 6=';' 7='func' keyword.
+
+func is_letter(c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+// tokenize fills toks with token kinds and returns the count.
+func tokenize(input, toks) {
+    var n = 0;
+    var i = 0;
+    while (i < len(input)) {
+        var c = input[i];
+        if (is_letter(c)) {
+            var start = i;
+            while (i < len(input) && is_letter(input[i])) {
+                i = i + 1;
+            }
+            var kind = 1;
+            // The 4-letter keyword "func" introduces a declaration.
+            if (i - start == 4 && input[start] == 'f' && input[start+1] == 'u'
+                && input[start+2] == 'n' && input[start+3] == 'c') {
+                kind = 7;
+            }
+            if (n < len(toks)) { toks[n] = kind; n = n + 1; }
+        } else if (c == '(') {
+            if (n < len(toks)) { toks[n] = 2; n = n + 1; }
+            i = i + 1;
+        } else if (c == ')') {
+            if (n < len(toks)) { toks[n] = 3; n = n + 1; }
+            i = i + 1;
+        } else if (c == '{') {
+            if (n < len(toks)) { toks[n] = 4; n = n + 1; }
+            i = i + 1;
+        } else if (c == '}') {
+            if (n < len(toks)) { toks[n] = 5; n = n + 1; }
+            i = i + 1;
+        } else if (c == ';') {
+            if (n < len(toks)) { toks[n] = 6; n = n + 1; }
+            i = i + 1;
+        } else {
+            i = i + 1;
+        }
+    }
+    return n;
+}
+
+// push_checked grows the token stack defensively.
+func push_checked(stack, state, tok) {
+    if (state[0] < len(stack)) {
+        stack[state[0]] = tok;
+        state[0] = state[0] + 1;
+    }
+    return 0;
+}
+
+// push_fast is the paper's buggy push: no bounds check. It is reached
+// only from the token-skipping path of parse_decl.
+func push_fast(stack, state, tok) {
+    stack[state[0]] = tok; // BUG cflow-1: OOB write when curs == len(stack)
+    state[0] = state[0] + 1;
+    return 0;
+}
+
+// parse_decl consumes one declaration: func ident ( idents ) { body }.
+// pos is carried in state[1]; curs (token stack cursor) in state[0].
+func parse_decl(toks, n, stack, state) {
+    state[1] = state[1] + 1; // skip the 'func' token
+    if (state[1] < n && toks[state[1]] == 1) {
+        state[1] = state[1] + 1;
+        push_checked(stack, state, 1);
+    }
+    if (state[1] < n && toks[state[1]] == 2) {
+        state[1] = state[1] + 1;
+        // Parameter list: idents until ')'.
+        while (state[1] < n && toks[state[1]] != 3) {
+            if (toks[state[1]] == 1) {
+                push_checked(stack, state, 1);
+                state[1] = state[1] + 1;
+            } else {
+                // Skip unexpected tokens in the stack, as the paper's
+                // parse_function_declaration() does: each skip pushes a
+                // marker WITHOUT a bounds check.
+                push_fast(stack, state, 9);
+                state[1] = state[1] + 1;
+            }
+        }
+        if (state[1] < n) { state[1] = state[1] + 1; }
+    }
+    return 0;
+}
+
+// count_calls scans a function body for ident '(' pairs.
+func count_calls(toks, n, state) {
+    var calls = 0;
+    var depth = 0;
+    if (state[1] < n && toks[state[1]] == 4) {
+        depth = 1;
+        state[1] = state[1] + 1;
+        while (state[1] < n && depth > 0) {
+            var t = toks[state[1]];
+            if (t == 4) { depth = depth + 1; }
+            if (t == 5) { depth = depth - 1; }
+            if (t == 1 && state[1] + 1 < n && toks[state[1]+1] == 2) {
+                calls = calls + 1;
+            }
+            state[1] = state[1] + 1;
+        }
+    }
+    return calls;
+}
+
+func main(input) {
+    var toks = alloc(256);
+    var n = tokenize(input, toks);
+    var stack = alloc(16);
+    var state = alloc(4); // state[0]=curs, state[1]=pos
+    var funcs = 0;
+    var calls = 0;
+    var parens = 0;
+    var i = 0;
+    while (i < n) {
+        if (toks[i] == 2) { parens = parens + 1; }
+        i = i + 1;
+    }
+    while (state[1] < n) {
+        var t = toks[state[1]];
+        if (t == 7) {
+            funcs = funcs + 1;
+            parse_decl(toks, n, stack, state);
+            calls = calls + count_calls(toks, n, state);
+        } else {
+            state[1] = state[1] + 1;
+        }
+    }
+    if (funcs > 2 && n > funcs * 4) {
+        // Call density report: tokens per paren pair. BUG cflow-2:
+        // parens is zero for paren-free declaration streams.
+        var density = n / parens;
+        out(density);
+    }
+    if (funcs > 0 && n > 128) {
+        // Summary table indexing: one slot per 8 tokens.
+        var slots = alloc(16);
+        var idx = n / 8;
+        slots[idx] = funcs; // BUG cflow-3: n can be up to 256 -> idx 32
+        out(slots[idx]);
+    }
+    return calls;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "cflow",
+		TypeLabel: "C",
+		Source:    cflowSrc,
+		Seeds: [][]byte{
+			[]byte("func add(a b) { sub(x); } func sub(q) { add(y); } func top() { add(z); sub(w); }"),
+			[]byte("func one() { two(a); }"),
+		},
+		Bugs: []Bug{
+			{
+				ID:            "cflow-1-stack-oob",
+				Witness:       []byte("func f(" + ";;;;;;;;;;;;;;;;;;" + ") { }"),
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "push_fast",
+				PathDependent: true,
+				Comment: "curs reaches the 16-slot token stack limit only via repeated " +
+					"executions of the unexpected-token skip path inside a parameter list " +
+					"(the paper's cflow zero-day pattern)",
+			},
+			{
+				ID:       "cflow-2-div-zero",
+				Witness:  []byte("func a func b func c d e f g h i j k l m"),
+				WantKind: vm.KindDivByZero,
+				WantFunc: "main",
+				Comment:  "token/paren density report divides by zero when '(' never appears",
+			},
+			{
+				ID: "cflow-3-slot-oob",
+				// >128 tokens with at least one func: 200 semicolons
+				// after a declaration gives idx = n/8 >= 16.
+				Witness:       []byte("func f(a) { } " + string(make129Semis())),
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "main",
+				PathDependent: false,
+				Comment:       "summary slot index n/8 overflows the 16-slot table once n > 128",
+			},
+		},
+	})
+}
+
+func make129Semis() []byte {
+	b := make([]byte, 150)
+	for i := range b {
+		b[i] = ';'
+	}
+	return b
+}

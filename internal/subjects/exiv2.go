@@ -1,0 +1,162 @@
+package subjects
+
+import "repro/internal/vm"
+
+// exiv2 models a TIFF/EXIF metadata parser: byte-order-aware IFD
+// walking with typed tag entries and sub-IFD recursion. Bug ex-3 is
+// path-dependent: a resolution-unit value is left unclamped only on the
+// big-endian SHORT decoding path, and a later XResolution entry indexes
+// a table with it.
+const exiv2Src = `
+// exiv2: TIFF/EXIF IFD parser.
+// Header: byte order ("II"=little, "MM"=big), 42, ifd offset (1 byte).
+// IFD: count(1) then 8-byte entries: tag(2) type(1) cnt(2) val(2) pad(1).
+// Types: 2=ASCII 3=SHORT 4=LONG 5=RATIONAL.
+
+func read16(input, pos, bo) {
+    if (bo == 1) {
+        return (input[pos] << 8) | input[pos + 1];
+    }
+    return input[pos] | (input[pos + 1] << 8);
+}
+
+func parse_ascii(input, valoff, cnt) {
+    var sum = 0;
+    var i = 0;
+    while (i < cnt) {
+        sum = sum + input[valoff + i]; // BUG ex-2: valoff unchecked against input
+        i = i + 1;
+    }
+    return sum;
+}
+
+func parse_entry(input, pos, bo, state) {
+    var tag = read16(input, pos, bo);
+    var typ = input[pos + 2];
+    var cnt = read16(input, pos + 3, bo);
+    var val = read16(input, pos + 5, bo);
+    if (tag == 0x112) { // Orientation
+        if (typ == 3 && val < 9) {
+            state[0] = val;
+        } else {
+            state[0] = 1;
+        }
+    } else if (tag == 0x128) { // ResolutionUnit
+        if (bo == 1 && typ == 3) {
+            // BUG ex-3 (setup): the big-endian SHORT path skips the
+            // clamp the other paths apply.
+            state[1] = val;
+        } else {
+            state[1] = min(val, 3);
+        }
+    } else if (tag == 0x11A) { // XResolution
+        if (typ == 5) {
+            var num = input[pos + 5];
+            var den = input[pos + 6];
+            var ratio = num / den; // BUG ex-4: zero denominator
+            out(ratio);
+        } else {
+            var fact = alloc(4);
+            fact[state[1]] = val; // BUG ex-3 (trigger): unit > 3 only via the BE path
+            out(fact[state[1]]);
+        }
+    } else if (tag == 0x100) { // ImageWidth
+        if (typ == 4) {
+            var strip = alloc(cnt * 64); // BUG ex-5: cnt*64 can exceed the allocator cap
+            strip[0] = val;
+        }
+    } else if (tag == 0x10F) { // Make (ASCII)
+        if (typ == 2) {
+            out(parse_ascii(input, val, cnt));
+        }
+    } else if (tag == 0x8769) { // EXIF sub-IFD pointer
+        parse_ifd(input, val, bo, state); // BUG ex-1: unbounded recursion on self-pointing IFDs
+    }
+    return 0;
+}
+
+func parse_ifd(input, off, bo, state) {
+    if (off + 1 > len(input)) { return 0; }
+    var count = input[off];
+    var i = 0;
+    while (i < count) {
+        var pos = off + 1 + i * 8;
+        if (pos + 8 > len(input)) { return 0; }
+        parse_entry(input, pos, bo, state);
+        i = i + 1;
+    }
+    return count;
+}
+
+func main(input) {
+    if (len(input) < 5) { return 1; }
+    var bo = 0;
+    if (input[0] == 'M' && input[1] == 'M') {
+        bo = 1;
+    } else if (input[0] == 'I' && input[1] == 'I') {
+        bo = 0;
+    } else {
+        return 1;
+    }
+    if (input[2] != 42) { return 2; }
+    var state = alloc(2);
+    state[0] = 1;
+    state[1] = 2;
+    return parse_ifd(input, input[3], bo, state);
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "exiv2",
+		TypeLabel: "C++",
+		Source:    exiv2Src,
+		Seeds: [][]byte{
+			// II header, one orientation entry.
+			{'I', 'I', 42, 4, 1, 0x12, 0x01, 3, 0, 0, 3, 0, 0},
+			// MM header, one clamped resolution-unit entry.
+			{'M', 'M', 42, 4, 1, 0x01, 0x28, 4, 0, 0, 0, 2, 0},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "ex-1-ifd-recursion",
+				Witness:  []byte{'I', 'I', 42, 4, 1, 0x69, 0x87, 4, 0, 0, 4, 0, 0},
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "parse_ifd",
+				Comment:  "EXIF sub-IFD pointer aimed back at its own IFD recurses unboundedly",
+			},
+			{
+				ID:       "ex-2-ascii-oob-read",
+				Witness:  []byte{'I', 'I', 42, 4, 1, 0x0F, 0x01, 2, 8, 0, 200, 0, 0},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_ascii",
+				Comment:  "ASCII value offset points past the buffer",
+			},
+			{
+				ID: "ex-3-unit-oob-write",
+				Witness: []byte{'M', 'M', 42, 4, 2,
+					0x01, 0x28, 3, 0, 0, 0, 9, 0, // BE SHORT ResolutionUnit = 9 (unclamped path)
+					0x01, 0x1A, 3, 0, 0, 0, 1, 0}, // XResolution (non-rational) indexes fact[9]
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "parse_entry",
+				PathDependent: true,
+				Comment: "ResolutionUnit is clamped on every decoding path except big-endian " +
+					"SHORT; a later XResolution entry indexes a 4-slot table with it",
+			},
+			{
+				ID:       "ex-4-rational-div-zero",
+				Witness:  []byte{'I', 'I', 42, 4, 1, 0x1A, 0x01, 5, 0, 0, 7, 0, 0},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "parse_entry",
+				Comment:  "rational XResolution with zero denominator",
+			},
+			{
+				ID:       "ex-5-strip-bad-alloc",
+				Witness:  []byte{'I', 'I', 42, 4, 1, 0x00, 0x01, 4, 0, 0x80, 1, 0, 0},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "parse_entry",
+				Comment:  "strip table allocation cnt*64 exceeds the allocator cap",
+			},
+		},
+	})
+}

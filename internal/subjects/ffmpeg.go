@@ -1,0 +1,133 @@
+package subjects
+
+import "repro/internal/vm"
+
+// ffmpeg models a container demuxer + audio decoder: stream-header
+// chunks configure codec state that packet-decode chunks consume. Its
+// bugs are deep — the paper finds only 2-3 here and the opportunistic
+// variant none — because triggering them requires a well-formed stream
+// header followed by packets that exercise the configured code path.
+const ffmpegSrc = `
+// ffmpeg: chunked A/V container.
+// Layout: "FM" then chunks: type(1) size(1) payload[size].
+// Chunk types: 1=stream header (codec channels rate flags),
+//              2=packet, 3=seek table.
+
+func parse_header(input, pos, size, st) {
+    if (size < 4 || pos + 4 > len(input)) { return 0; }
+    st[0] = input[pos];     // codec id
+    st[1] = input[pos + 1]; // channels
+    st[2] = input[pos + 2]; // sample rate class
+    st[3] = 0;              // planar layout flag
+    if (st[0] == 7 && (input[pos + 3] & 4) != 0) {
+        // BUG ff-2 (setup): only the codec-7 planar path sets this
+        // flag; packet decode trusts it.
+        st[3] = 1;
+    }
+    return 1;
+}
+
+func decode_packet(input, pos, size, st, ring) {
+    if (st[0] == 0) { return 0; }
+    var per_ch = size / st[1]; // BUG ff-1: zero-channel header
+    if (st[3] == 1) {
+        // Planar: deinterleave into the ring. st[4] is the write
+        // cursor, never wrapped on the planar path.
+        var i = 0;
+        while (i < per_ch && pos + i < len(input)) {
+            ring[st[4]] = input[pos + i]; // BUG ff-2: cursor creeps past the 32-cell ring
+            st[4] = st[4] + 1;
+            i = i + 1;
+        }
+    } else {
+        var i = 0;
+        while (i < size && pos + i < len(input)) {
+            ring[(st[4] + i) % len(ring)] = input[pos + i];
+            i = i + 1;
+        }
+        st[4] = (st[4] + size) % len(ring);
+    }
+    return per_ch;
+}
+
+func parse_seek(input, pos, size, st) {
+    if (size < 1 || pos >= len(input)) { return 0; }
+    var tbl = alloc(8);
+    var n = input[pos];
+    var i = 0;
+    while (i < n && pos + 1 + i < len(input)) {
+        var slot = input[pos + 1 + i];
+        tbl[slot & 15] = i; // BUG ff-3: masked to 16 but the table has 8 cells
+        i = i + 1;
+    }
+    return n;
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 'F' || input[1] != 'M') { return 1; }
+    var st = alloc(5);
+    var ring = alloc(32);
+    var pos = 2;
+    var chunks = 0;
+    while (pos + 2 <= len(input)) {
+        var t = input[pos];
+        var size = input[pos + 1];
+        pos = pos + 2;
+        if (t == 1) {
+            parse_header(input, pos, size, st);
+        } else if (t == 2) {
+            decode_packet(input, pos, size, st, ring);
+        } else if (t == 3) {
+            parse_seek(input, pos, size, st);
+        }
+        pos = pos + size;
+        chunks = chunks + 1;
+    }
+    return chunks;
+}
+`
+
+func init() {
+	// ff-2 witness: codec-7 planar header (1 channel), then two 20-byte
+	// packets: per_ch = 20 each, cursor reaches 32 inside the second.
+	ff2 := []byte{'F', 'M', 1, 4, 7, 1, 0, 4}
+	pkt := append([]byte{2, 20}, make([]byte, 20)...)
+	ff2 = append(ff2, pkt...)
+	ff2 = append(ff2, pkt...)
+
+	register(&Subject{
+		Name:      "ffmpeg",
+		TypeLabel: "C",
+		Source:    ffmpegSrc,
+		Seeds: [][]byte{
+			{'F', 'M', 1, 4, 3, 2, 1, 0, 2, 4, 9, 8, 7, 6, 3, 3, 2, 1, 5},
+			{'F', 'M', 2, 2, 1, 2},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "ff-1-zero-channels",
+				Witness:  []byte{'F', 'M', 1, 4, 3, 0, 1, 0, 2, 4, 9, 8, 7, 6},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "decode_packet",
+				Comment:  "stream header with zero channels divides packet size by zero",
+			},
+			{
+				ID:            "ff-2-ring-oob",
+				Witness:       ff2,
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "decode_packet",
+				PathDependent: true,
+				Comment: "the planar header path (codec 7 + layout flag) leaves the ring " +
+					"cursor unwrapped; successive packets creep it past the 32-cell ring",
+			},
+			{
+				ID:       "ff-3-seek-oob",
+				Witness:  []byte{'F', 'M', 3, 2, 1, 12},
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "parse_seek",
+				Comment:  "seek slots are masked to 16 but the table has 8 cells",
+			},
+		},
+	})
+}

@@ -1,0 +1,106 @@
+package subjects
+
+import "repro/internal/vm"
+
+// flvmeta models an FLV metadata extractor: a tag-stream walker that
+// accumulates audio/video metadata and renders a script-data summary.
+// Its second bug is path-dependent in the Fig. 1 sense: the summary
+// index is computed from state that only specific audio- and video-tag
+// parsing paths establish.
+const flvmetaSrc = `
+// flvmeta: FLV tag stream walker.
+// Layout: "FLV" ver(1) flags(1) then tags: type(1) size(1) payload[size].
+// Tag types: 8=audio 9=video 18=script-data.
+
+func parse_audio(input, pos, size, meta) {
+    if (pos < len(input)) {
+        var flags = input[pos];
+        // Stereo AAC at 44kHz: sound format 2, stereo bit set.
+        if ((flags & 1) == 1 && (flags >> 4) == 2) {
+            meta[0] = 1;
+        } else {
+            meta[0] = 0;
+        }
+    }
+    return 0;
+}
+
+func parse_video(input, pos, size, meta) {
+    if (pos < len(input)) {
+        var f = input[pos];
+        if ((f >> 4) == 1) {
+            // Keyframe: remember the richest summary layout.
+            meta[1] = 3;
+        } else if ((f >> 4) == 2) {
+            meta[1] = 1;
+        }
+    }
+    return 0;
+}
+
+func parse_script(input, pos, size, meta, table) {
+    if (size >= 2) {
+        // Trailing AMF end marker byte.
+        var last = input[pos + size - 1]; // BUG flv-1: size unchecked against input
+        var idx = meta[0] * 2 + meta[1];
+        table[idx] = last; // BUG flv-2: idx reaches 5 on the stereo+keyframe paths
+        out(table[idx]);
+    }
+    return 0;
+}
+
+func main(input) {
+    if (len(input) < 5) { return 1; }
+    if (input[0] != 'F' || input[1] != 'L' || input[2] != 'V') { return 1; }
+    if (input[3] != 1) { return 2; }
+    var meta = alloc(2);
+    var table = alloc(4);
+    var tags = 0;
+    var pos = 5;
+    while (pos + 2 <= len(input)) {
+        var t = input[pos];
+        var size = input[pos + 1];
+        pos = pos + 2;
+        if (t == 8) {
+            parse_audio(input, pos, size, meta);
+        } else if (t == 9) {
+            parse_video(input, pos, size, meta);
+        } else if (t == 18) {
+            parse_script(input, pos, size, meta, table);
+        }
+        pos = pos + size;
+        tags = tags + 1;
+    }
+    return tags;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "flvmeta",
+		TypeLabel: "C",
+		Source:    flvmetaSrc,
+		Seeds: [][]byte{
+			{'F', 'L', 'V', 1, 0, 8, 1, 0x05, 9, 1, 0x20, 18, 3, 'a', 'b', 'c'},
+			{'F', 'L', 'V', 1, 0, 18, 2, 1, 2},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "flv-1-script-oob-read",
+				Witness:  []byte{'F', 'L', 'V', 1, 0, 18, 200},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_script",
+				Comment:  "script tag size runs past the end of the input buffer",
+			},
+			{
+				ID:            "flv-2-summary-oob-write",
+				Witness:       []byte{'F', 'L', 'V', 1, 0, 8, 1, 0x21, 9, 1, 0x10, 18, 2, 0, 0},
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "parse_script",
+				PathDependent: true,
+				Comment: "summary index meta[0]*2+meta[1] = 5 overflows the 4-slot table, but " +
+					"only when the stereo-AAC audio path AND the keyframe video path both ran",
+			},
+		},
+	})
+}

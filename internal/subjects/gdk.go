@@ -1,0 +1,175 @@
+package subjects
+
+import "repro/internal/vm"
+
+// gdk models a gdk-pixbuf-style bitmap loader: signed dimensions,
+// palette decoding, 4-bit unpacking with a flip transform, stride
+// alignment, cropping statistics and icon scaling. It is the most
+// bug-dense subject after pdftotext/objdump, as in the paper's Table
+// II. Bug gdk-3 is path-dependent: the flip flag is set only on the
+// 4bpp+palette parsing path.
+const gdkSrc = `
+// gdk: bitmap loader.
+// Layout: "BM" w_lo w_hi h bpp mode pal_count palette[pal_count*3] pixels...
+
+func load_header(input, hdr) {
+    // hdr[0]=w hdr[1]=h hdr[2]=bpp hdr[3]=mode hdr[4]=pal_count hdr[5]=flip
+    var w = input[2] | (input[3] << 8);
+    if (w >= 32768) { w = w - 65536; } // signed 16-bit width
+    hdr[0] = w;
+    hdr[1] = input[4];
+    hdr[2] = input[5];
+    hdr[3] = input[6];
+    hdr[4] = input[7];
+    hdr[5] = 0;
+    if (hdr[2] == 4 && hdr[4] > 0 && hdr[3] == 2) {
+        // BUG gdk-3 (setup): 4bpp palette images in mode 2 take the
+        // flip path; no other path sets this flag.
+        hdr[5] = 1;
+    }
+    return 0;
+}
+
+func load_pixels(input, hdr) {
+    var w = hdr[0];
+    var h = hdr[1];
+    if (w == 0 || h == 0) { return 0; }
+    var buf = alloc(w * 3 * h); // BUG gdk-1: negative width flows into the allocation
+    var stride = ((w * 3 + 3) / 4) * 4;
+    var base = 8 + hdr[4] * 3;
+    var y = 0;
+    while (y < h) {
+        var x = 0;
+        while (x < w * 3) {
+            var src = base + y * stride + x;
+            var v = 0;
+            if (src < len(input)) { v = input[src]; }
+            buf[y * stride + x] = v; // BUG gdk-2: aligned stride overruns the w*3*h buffer
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+    return h;
+}
+
+func decode_palette(input, hdr, pix_off) {
+    var pc = hdr[4];
+    if (pc == 0) { return 0; }
+    var pal = alloc(pc * 3);
+    var i = 0;
+    while (i < pc * 3 && 8 + i < len(input)) {
+        pal[i] = input[8 + i];
+        i = i + 1;
+    }
+    var sum = 0;
+    var p = pix_off;
+    while (p < len(input)) {
+        var idx = input[p];
+        sum = sum + pal[idx * 3]; // BUG gdk-4: pixel index unchecked against pal_count
+        p = p + 1;
+    }
+    return sum;
+}
+
+func flip_row(input, hdr, row_off) {
+    var w = hdr[0];
+    var dst = alloc(w);
+    var x = 0;
+    while (x < w) {
+        var v = 0;
+        if (row_off + x < len(input)) { v = input[row_off + x]; }
+        dst[w - x] = v; // BUG gdk-5: writes dst[w] at x=0, one past the end
+        x = x + 1;
+    }
+    return dst[0];
+}
+
+func crop_stats(input, hdr, crop) {
+    var w = hdr[0];
+    var h = hdr[1];
+    var visible = w * h / (h - crop); // BUG gdk-6: crop == h divides by zero
+    out(visible);
+    return visible;
+}
+
+func main(input) {
+    if (len(input) < 8) { return 1; }
+    if (input[0] != 'B' || input[1] != 'M') { return 1; }
+    var hdr = alloc(6);
+    load_header(input, hdr);
+    var w = hdr[0];
+    var h = hdr[1];
+    if (w < -32768 || h < 0) { return 2; }
+    load_pixels(input, hdr);
+    var pix_off = 8 + hdr[4] * 3;
+    if (hdr[2] == 8) {
+        decode_palette(input, hdr, pix_off);
+    }
+    if (hdr[5] == 1 && w > 0) {
+        flip_row(input, hdr, pix_off);
+    }
+    if (hdr[3] == 5 && h > 0) {
+        crop_stats(input, hdr, input[7] & 127);
+    }
+    return 0;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "gdk",
+		TypeLabel: "C",
+		Source:    gdkSrc,
+		Seeds: [][]byte{
+			// 1x1 truecolor image.
+			{'B', 'M', 1, 0, 1, 24, 0, 0, 10, 20, 30},
+			// 2x1 8bpp with a 2-entry palette.
+			{'B', 'M', 2, 0, 1, 8, 0, 2, 1, 2, 3, 4, 5, 6, 0, 1},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "gdk-1-neg-width-alloc",
+				Witness:  []byte{'B', 'M', 0, 0x80, 1, 24, 0, 0},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "load_pixels",
+				Comment:  "signed width -32768 flows into the row-buffer allocation",
+			},
+			{
+				ID: "gdk-2-stride-oob",
+				// w=1,h=2: buf=6 cells, stride=((3+3)/4)*4=4; y=1,x=2 writes index 6.
+				Witness:  []byte{'B', 'M', 1, 0, 2, 24, 0, 0},
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "load_pixels",
+				Comment:  "rows are written at 4-byte-aligned stride into a tightly sized buffer",
+			},
+			{
+				ID: "gdk-4-palette-oob",
+				// 8bpp, pal_count=1, pixel byte 5 -> pal[15] with pal size 3.
+				Witness:  []byte{'B', 'M', 1, 0, 0, 8, 0, 1, 9, 9, 9, 5},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "decode_palette",
+				Comment:  "pixel bytes index the palette without a pal_count check",
+			},
+			{
+				ID: "gdk-3-flip-oob",
+				// 4bpp + palette + mode 2 sets the flip flag; flip_row
+				// writes dst[w]. h=0 keeps load_pixels inert.
+				Witness:       []byte{'B', 'M', 2, 0, 0, 4, 2, 1, 9, 9, 9, 1, 2},
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "flip_row",
+				PathDependent: true,
+				Comment: "the flip flag is set only on the 4bpp+palette+mode-2 header path; " +
+					"the mirrored store then writes one cell past the row buffer",
+			},
+			{
+				ID: "gdk-6-crop-div-zero",
+				// mode 5, crop byte (input[7]&127) == h. Width 4 keeps
+				// the stride aligned so load_pixels stays clean.
+				Witness:  []byte{'B', 'M', 4, 0, 3, 24, 5, 3},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "crop_stats",
+				Comment:  "cropping the full height divides by zero in the visibility stat",
+			},
+		},
+	})
+}

@@ -1,0 +1,102 @@
+package subjects
+
+import "repro/internal/vm"
+
+// imginfo models a JPEG-2000-style codestream inspector (the jasper
+// tool): SOC marker, SIZ segment with component precision/signedness,
+// and tile headers. Bug im-3 is path-dependent: the sample-shift value
+// is clamped on the unsigned decoding path but not on the signed one.
+const imginfoSrc = `
+// imginfo: JP2-style codestream inspector.
+// Layout: FF 4F then boxes: type(1) blen(1) payload[blen].
+// Box types: 'S' = SIZ (w h ncomp prec sgnd), 'T' = tile (idx), 'C' = comment.
+
+func parse_siz(input, pos, blen) {
+    if (blen < 5 || pos + 5 > len(input)) { return 0; }
+    var w = input[pos];
+    var h = input[pos + 1];
+    var ncomp = input[pos + 2];
+    var prec = input[pos + 3];
+    var sgnd = input[pos + 4];
+    var bits_total = w * h * prec / ncomp; // BUG im-1: zero components
+    out(bits_total);
+    if (prec > 8) {
+        var shift = 0;
+        if (sgnd == 1) {
+            // BUG im-3 (setup): the signed path forgets the clamp.
+            shift = prec - 8;
+        } else {
+            shift = min(prec - 8, 4);
+        }
+        var lut = alloc(17);
+        lut[1 << shift] = 1; // BUG im-3 (trigger): shift > 4 only via the signed path
+        out(lut[1 << shift]);
+    }
+    return w * h;
+}
+
+func parse_tile(input, pos, blen) {
+    if (blen < 1 || pos >= len(input)) { return 0; }
+    var tiles = alloc(4);
+    tiles[0] = 10; tiles[1] = 20; tiles[2] = 30; tiles[3] = 40;
+    var idx = input[pos];
+    return tiles[idx]; // BUG im-2: tile index unchecked
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 255 || input[1] != 0x4F) { return 1; }
+    var pos = 2;
+    var boxes = 0;
+    while (pos + 2 <= len(input)) {
+        var t = input[pos];
+        var blen = input[pos + 1];
+        pos = pos + 2;
+        if (t == 'S') {
+            parse_siz(input, pos, blen);
+        } else if (t == 'T') {
+            parse_tile(input, pos, blen);
+        }
+        pos = pos + blen;
+        boxes = boxes + 1;
+    }
+    return boxes;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "imginfo",
+		TypeLabel: "C",
+		Source:    imginfoSrc,
+		Seeds: [][]byte{
+			{255, 0x4F, 'S', 5, 4, 4, 1, 8, 0},
+			{255, 0x4F, 'T', 1, 2, 'C', 2, 7, 7},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "im-1-ncomp-div-zero",
+				Witness:  []byte{255, 0x4F, 'S', 5, 4, 4, 0, 8, 0},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "parse_siz",
+				Comment:  "zero-component SIZ divides the bit budget by zero",
+			},
+			{
+				ID:       "im-2-tile-oob",
+				Witness:  []byte{255, 0x4F, 'T', 1, 9},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_tile",
+				Comment:  "tile index beyond the 4-entry tile table",
+			},
+			{
+				ID:            "im-3-shift-oob",
+				Witness:       []byte{255, 0x4F, 'S', 5, 4, 4, 1, 13, 1},
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "parse_siz",
+				PathDependent: true,
+				Comment: "precision 13 with the signed flag takes the unclamped shift path; " +
+					"1<<5 = 32 overflows the 17-entry LUT (the unsigned path clamps to 4)",
+			},
+		},
+	})
+}

@@ -1,0 +1,153 @@
+package subjects
+
+import "repro/internal/vm"
+
+// infotocap models a compiled-terminfo converter (the ncurses tool).
+// Its capability-classification loops contain dense chains of
+// independent conditions — the shape that makes intra-procedural path
+// counts explode (the paper's Table I shows infotocap with a 62x queue
+// blow-up under path feedback), while its deeper bugs sit behind the
+// sequential section structure, which is why the paper's pcguard beats
+// the baseline path fuzzer here.
+const infotocapSrc = `
+// infotocap: compiled terminfo reader.
+// Layout: 1A 01 name_len names[name_len] bool_count bools[bool_count]
+//         num_count nums[num_count*2 LE] str_count offs[str_count*2 LE] strings...
+
+// classify_bool is deliberately branch-dense: six independent tests on
+// each capability byte yield 64 distinct intra-procedural paths per
+// call.
+func classify_bool(v) {
+    var class = 0;
+    if ((v & 1) != 0) { class = class + 1; } else { class = class + 2; }
+    if ((v & 2) != 0) { class = class * 2; } else { class = class + 3; }
+    if ((v & 4) != 0) { class = class ^ 5; } else { class = class + 7; }
+    if ((v & 8) != 0) { class = class + 11; } else { class = class * 3; }
+    if ((v & 16) != 0) { class = class ^ 9; } else { class = class + 13; }
+    if ((v & 32) != 0) { class = class + 17; } else { class = class ^ 21; }
+    return class;
+}
+
+func read_names(input, buf) {
+    var name_len = input[2];
+    var i = 0;
+    while (i < name_len && 3 + i < len(input)) {
+        buf[i] = input[3 + i]; // BUG it-1: name_len can exceed the 128-cell buffer
+        i = i + 1;
+    }
+    return 3 + name_len;
+}
+
+func read_bools(input, pos) {
+    if (pos >= len(input)) { return pos; }
+    var bool_count = input[pos];
+    var bools = alloc(64);
+    var i = 0;
+    while (i < bool_count && pos + 1 + i < len(input)) {
+        var v = classify_bool(input[pos + 1 + i]);
+        bools[i] = v; // BUG it-2: bool_count can exceed the fixed 64-entry table
+        i = i + 1;
+    }
+    return pos + 1 + bool_count;
+}
+
+func read_nums(input, pos, numtable) {
+    if (pos >= len(input)) { return pos; }
+    var num_count = input[pos];
+    var i = 0;
+    while (i < num_count && pos + 1 + i * 2 + 1 < len(input)) {
+        var v = input[pos + 1 + i * 2] | (input[pos + 2 + i * 2] << 8);
+        if (v == 0xFFFF) { v = -1; } // "absent" capability marker
+        if (v < 16) {
+            numtable[v] = numtable[v] + 1; // BUG it-3: -1 passes the upper-bound-only check
+        }
+        i = i + 1;
+    }
+    return pos + 1 + num_count * 2;
+}
+
+func read_strings(input, pos) {
+    if (pos >= len(input)) { return 0; }
+    var str_count = input[pos];
+    var table_start = pos + 1 + str_count * 2;
+    var sum = 0;
+    var i = 0;
+    while (i < str_count && pos + 1 + i * 2 + 1 < len(input)) {
+        var off = input[pos + 1 + i * 2] | (input[pos + 2 + i * 2] << 8);
+        if (off != 0xFFFF) {
+            sum = sum + input[table_start + off]; // BUG it-4: offset unchecked vs input
+        }
+        i = i + 1;
+    }
+    return sum;
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 0x1A || input[1] != 0x01) { return 1; }
+    var names = alloc(128);
+    var numtable = alloc(16);
+    var pos = read_names(input, names);
+    pos = read_bools(input, pos);
+    pos = read_nums(input, pos, numtable);
+    return read_strings(input, pos);
+}
+`
+
+func init() {
+	// it-1 witness: name_len 200 with enough trailing bytes to reach
+	// buf[128].
+	it1 := append([]byte{0x1A, 0x01, 200}, make([]byte, 140)...)
+
+	// it-2 witness: empty names, bool_count 100 with 70 capability
+	// bytes: bools[64] is written at i=64.
+	it2 := append([]byte{0x1A, 0x01, 0, 100}, make([]byte, 70)...)
+
+	// it-3 witness: empty names, zero bools, one num = 0xFFFF.
+	it3 := []byte{0x1A, 0x01, 0, 0, 1, 0xFF, 0xFF}
+
+	// it-4 witness: empty names/bools/nums, one string with offset 500.
+	it4 := []byte{0x1A, 0x01, 0, 0, 0, 1, 0xF4, 0x01}
+
+	register(&Subject{
+		Name:      "infotocap",
+		TypeLabel: "C",
+		Source:    infotocapSrc,
+		Seeds: [][]byte{
+			{0x1A, 0x01, 2, 'v', 't', 3, 1, 0, 37, 2, 5, 0, 7, 0, 1, 0, 0, 'h', 'i', 0},
+			{0x1A, 0x01, 1, 'x', 1, 255, 0, 0},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "it-1-names-oob",
+				Witness:  it1,
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "read_names",
+				Comment:  "terminal name length field exceeds the 128-cell name buffer",
+			},
+			{
+				ID:       "it-2-bools-oob",
+				Witness:  it2,
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "read_bools",
+				Comment:  "boolean capability count exceeds the fixed 64-entry table",
+			},
+			{
+				ID:            "it-3-absent-num-oob",
+				Witness:       it3,
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "read_nums",
+				PathDependent: true,
+				Comment: "the absent-capability marker 0xFFFF is mapped to -1 on its own " +
+					"decode path and then passes the upper-bound-only table check",
+			},
+			{
+				ID:       "it-4-string-offset-oob",
+				Witness:  it4,
+				WantKind: vm.KindOOBRead,
+				WantFunc: "read_strings",
+				Comment:  "string capability offset runs past the end of the input",
+			},
+		},
+	})
+}

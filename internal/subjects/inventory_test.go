@@ -1,0 +1,126 @@
+package subjects
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/balllarus"
+	"repro/internal/vm"
+)
+
+// TestInventoryTotals pins the documented inventory: DESIGN.md's
+// subject table claims 71 witness-verified bugs, 19 path-dependent,
+// 1 unreachable.
+func TestInventoryTotals(t *testing.T) {
+	total, pd, unreachable := 0, 0, 0
+	for _, s := range All() {
+		for _, b := range s.Bugs {
+			total++
+			if b.PathDependent {
+				pd++
+			}
+			if b.Unreachable {
+				unreachable++
+			}
+		}
+	}
+	if total != 71 || pd != 19 || unreachable != 1 {
+		t.Errorf("inventory = (%d bugs, %d path-dependent, %d unreachable), DESIGN.md documents (71, 19, 1)",
+			total, pd, unreachable)
+	}
+}
+
+// TestBugMetadataComplete: every bug has an ID, a comment explaining
+// the trigger, and consistent naming (subject prefix).
+func TestBugMetadataComplete(t *testing.T) {
+	for _, s := range All() {
+		for _, b := range s.Bugs {
+			if b.ID == "" {
+				t.Errorf("%s: bug with empty ID", s.Name)
+			}
+			if b.Comment == "" {
+				t.Errorf("%s/%s: no comment", s.Name, b.ID)
+			}
+			if b.WantFunc == "" {
+				t.Errorf("%s/%s: no expected function", s.Name, b.ID)
+			}
+		}
+	}
+}
+
+// TestSubjectsAreNumerable: every function of every subject must be
+// Ball-Larus-numerable (no hash fallbacks in the benchmark suite), so
+// the evaluation exercises the paper's encoding everywhere.
+func TestSubjectsAreNumerable(t *testing.T) {
+	for _, s := range All() {
+		prog := s.MustProgram()
+		for _, f := range prog.Funcs {
+			if _, err := balllarus.Encode(f); err != nil {
+				t.Errorf("%s/%s: %v", s.Name, f.Name, err)
+			}
+		}
+	}
+}
+
+// TestSubjectsHaveLoops: queue-explosion dynamics need loops and branch
+// density; every subject should have at least one back edge somewhere.
+func TestSubjectsHaveLoops(t *testing.T) {
+	for _, s := range All() {
+		prog := s.MustProgram()
+		back := 0
+		for _, f := range prog.Funcs {
+			back += f.NumBackEdges()
+		}
+		if back == 0 {
+			t.Errorf("%s: no loops at all", s.Name)
+		}
+	}
+}
+
+// TestWitnessesAreMinimalish: witnesses should be small (they document
+// the trigger; multi-kilobyte blobs would obscure it). The recursion
+// witnesses are the legitimate exception.
+func TestWitnessesAreMinimalish(t *testing.T) {
+	for _, s := range All() {
+		for _, b := range s.Bugs {
+			if len(b.Witness) > 300 {
+				if b.WantKind == vm.KindStackOverflow {
+					continue
+				}
+				t.Errorf("%s/%s: witness is %d bytes", s.Name, b.ID, len(b.Witness))
+			}
+		}
+	}
+}
+
+// TestTypeLabelsMatchPaper: the Table I language column.
+func TestTypeLabelsMatchPaper(t *testing.T) {
+	want := map[string]string{
+		"cflow": "C", "exiv2": "C++", "ffmpeg": "C", "flvmeta": "C",
+		"gdk": "C", "imginfo": "C", "infotocap": "C", "jhead": "C",
+		"jq": "C", "lame": "C/C++", "mp3gain": "C", "mp42aac": "C++",
+		"mujs": "C", "nm-new": "C", "objdump": "C", "pdftotext": "C/C++",
+		"sqlite3": "C", "tiffsplit": "C",
+	}
+	for name, label := range want {
+		s := Get(name)
+		if s == nil {
+			t.Errorf("missing subject %s", name)
+			continue
+		}
+		if s.TypeLabel != label {
+			t.Errorf("%s: label %q, want %q", name, s.TypeLabel, label)
+		}
+	}
+}
+
+// TestSourcesMentionBugs: each subject's MiniC source documents its
+// planted bugs inline (BUG markers), keeping source and inventory in
+// sync for readers.
+func TestSourcesMentionBugs(t *testing.T) {
+	for _, s := range All() {
+		if !strings.Contains(s.Source, "BUG") {
+			t.Errorf("%s: source has no BUG markers", s.Name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package subjects
+
+import "repro/internal/vm"
+
+// jhead models a JPEG/EXIF header dumper: a marker-segment walker with
+// APP1 (EXIF) tag parsing, comment extraction, orientation decoding and
+// a thumbnail copier. Its bugs are intentionally shallow — the paper
+// observes that every fuzzer configuration finds (nearly) all jhead
+// bugs.
+const jheadSrc = `
+// jhead: JPEG marker walker.
+// Layout: FF D8 then segments: FF marker len(1) payload[len].
+// (Real JPEG uses 2-byte lengths; one byte keeps fuzzer inputs small.)
+
+func parse_app1(input, pos, seglen) {
+    // EXIF header: "Exif" 0 0 then byte order.
+    if (seglen < 8) { return 0; }
+    if (input[pos] != 'E' || input[pos+1] != 'x' || input[pos+2] != 'i' || input[pos+3] != 'f') {
+        return 0;
+    }
+    var ifd = pos + 6;
+    var count = input[ifd]; // BUG jh-1: ifd offset unchecked against input length
+    var entries = 0;
+    var i = 0;
+    while (i < count && ifd + 1 + i * 4 + 3 < len(input)) {
+        var tag = input[ifd + 1 + i * 4];
+        var val = input[ifd + 1 + i * 4 + 1];
+        if (tag == 0x12) { // orientation
+            entries = entries + decode_orientation(val);
+        }
+        if (tag == 0x33) { // thumbnail dims packed: val = (w<<4)|h
+            entries = entries + copy_thumbnail(input, ifd, val);
+        }
+        i = i + 1;
+    }
+    return entries;
+}
+
+func decode_orientation(orient) {
+    var rot_table = alloc(9);
+    rot_table[1] = 0; rot_table[2] = 0; rot_table[3] = 180;
+    rot_table[4] = 180; rot_table[5] = 90; rot_table[6] = 90;
+    rot_table[7] = 270; rot_table[8] = 270;
+    var r = rot_table[orient]; // BUG jh-2: orientation byte > 8 reads OOB
+    out(r);
+    return 1;
+}
+
+func copy_thumbnail(input, base, dims) {
+    var tw = dims >> 4;
+    var th = dims & 15;
+    var thumb = alloc(64);
+    var n = tw * th;
+    if (n > 0) {
+        thumb[n - 1] = 1; // BUG jh-3: 15*15=225 > 64
+        var i = 0;
+        while (i < n && base + i < len(input)) {
+            thumb[i] = input[base + i];
+            i = i + 1;
+        }
+    }
+    return 1;
+}
+
+func parse_comment(input, pos, seglen) {
+    var buf = alloc(seglen - 2); // BUG jh-4: seglen < 2 allocates negative
+    var i = 0;
+    while (i < seglen - 2 && pos + i < len(input)) {
+        buf[i] = input[pos + i];
+        i = i + 1;
+    }
+    return i;
+}
+
+func parse_sos(input, pos) {
+    // Scan entropy-coded data for the next marker.
+    var i = pos;
+    while (i < len(input)) {
+        if (input[i] == 255) {
+            var nxt = input[i + 1]; // BUG jh-5: i+1 unchecked at buffer end
+            if (nxt != 0) { return i; }
+        }
+        i = i + 1;
+    }
+    return i;
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 255 || input[1] != 0xD8) { return 1; }
+    var pos = 2;
+    var segs = 0;
+    while (pos + 3 <= len(input)) {
+        if (input[pos] != 255) { return 3; }
+        var marker = input[pos + 1];
+        var seglen = input[pos + 2];
+        pos = pos + 3;
+        if (marker == 0xE1) {
+            parse_app1(input, pos, seglen);
+        } else if (marker == 0xFE) {
+            parse_comment(input, pos, seglen);
+        } else if (marker == 0xDA) {
+            pos = parse_sos(input, pos);
+        }
+        pos = pos + seglen;
+        segs = segs + 1;
+    }
+    return segs;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "jhead",
+		TypeLabel: "C",
+		Source:    jheadSrc,
+		Seeds: [][]byte{
+			{255, 0xD8, 255, 0xE1, 12, 'E', 'x', 'i', 'f', 0, 0, 1, 1, 0x12, 1, 0, 0},
+			{255, 0xD8, 255, 0xFE, 5, 'h', 'e', 'y', 255, 0xDA, 2, 0, 0},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "jh-1-ifd-oob-read",
+				Witness:  []byte{255, 0xD8, 255, 0xE1, 8, 'E', 'x', 'i', 'f'},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_app1",
+				Comment:  "IFD offset runs past the buffer when the APP1 payload is truncated",
+			},
+			{
+				ID:       "jh-2-orientation-oob",
+				Witness:  []byte{255, 0xD8, 255, 0xE1, 12, 'E', 'x', 'i', 'f', 0, 0, 1, 0x12, 9, 0, 0},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "decode_orientation",
+				Comment:  "orientation value 9 indexes past the 9-entry rotation table",
+			},
+			{
+				ID:       "jh-3-thumb-oob-write",
+				Witness:  []byte{255, 0xD8, 255, 0xE1, 12, 'E', 'x', 'i', 'f', 0, 0, 1, 0x33, 0xFF, 0, 0},
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "copy_thumbnail",
+				Comment:  "15x15 thumbnail overflows the fixed 64-cell buffer",
+			},
+			{
+				ID:       "jh-4-comment-bad-alloc",
+				Witness:  []byte{255, 0xD8, 255, 0xFE, 1, 0, 0},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "parse_comment",
+				Comment:  "comment segment length below the 2-byte header allocates a negative size",
+			},
+			{
+				ID:       "jh-5-sos-oob-read",
+				Witness:  []byte{255, 0xD8, 255, 0xDA, 0, 1, 255},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_sos",
+				Comment:  "marker scan reads one byte past the buffer when 0xFF ends the input",
+			},
+		},
+	})
+}

@@ -1,0 +1,184 @@
+package subjects
+
+import "repro/internal/vm"
+
+// jq models a JSON parser: a complete recursive-descent grammar over
+// objects, arrays, strings, numbers and literals. Its single bug (the
+// paper finds exactly one in jq, by every fuzzer) is unbounded
+// recursion on nested containers.
+const jqSrc = `
+// jq: recursive-descent JSON subset parser.
+// state[0] = cursor position.
+
+func skip_ws(input, state) {
+    while (state[0] < len(input)) {
+        var c = input[state[0]];
+        if (c == ' ' || c == 9 || c == 10 || c == 13) {
+            state[0] = state[0] + 1;
+        } else {
+            return 0;
+        }
+    }
+    return 0;
+}
+
+func peek(input, state) {
+    if (state[0] < len(input)) { return input[state[0]]; }
+    return -1;
+}
+
+func parse_string(input, state) {
+    state[0] = state[0] + 1; // opening quote
+    var n = 0;
+    while (state[0] < len(input)) {
+        var c = input[state[0]];
+        state[0] = state[0] + 1;
+        if (c == '"') { return n; }
+        if (c == 92) { // backslash escape
+            state[0] = state[0] + 1;
+        }
+        n = n + 1;
+    }
+    return -1; // unterminated
+}
+
+func parse_number(input, state) {
+    var v = 0;
+    var negate = 0;
+    if (peek(input, state) == '-') {
+        negate = 1;
+        state[0] = state[0] + 1;
+    }
+    while (state[0] < len(input)) {
+        var c = input[state[0]];
+        if (c >= '0' && c <= '9') {
+            v = v * 10 + (c - '0');
+            state[0] = state[0] + 1;
+        } else {
+            break;
+        }
+    }
+    if (negate == 1) { v = -v; }
+    return v;
+}
+
+func parse_literal(input, state, first) {
+    // true / false / null: checked by first letter, consumed greedily.
+    while (state[0] < len(input)) {
+        var c = input[state[0]];
+        if (c >= 'a' && c <= 'z') {
+            state[0] = state[0] + 1;
+        } else {
+            break;
+        }
+    }
+    if (first == 't') { return 1; }
+    return 0;
+}
+
+// parse_value recurses for containers. BUG jq-1: no depth limit, so
+// deeply nested arrays/objects overflow the stack.
+func parse_value(input, state) {
+    skip_ws(input, state);
+    var c = peek(input, state);
+    if (c == '{') { return parse_object(input, state); }
+    if (c == '[') { return parse_array(input, state); }
+    if (c == '"') { return parse_string(input, state); }
+    if (c == '-' || (c >= '0' && c <= '9')) { return parse_number(input, state); }
+    if (c >= 'a' && c <= 'z') { return parse_literal(input, state, c); }
+    return -2; // syntax error
+}
+
+func parse_array(input, state) {
+    state[0] = state[0] + 1; // '['
+    var n = 0;
+    skip_ws(input, state);
+    if (peek(input, state) == ']') {
+        state[0] = state[0] + 1;
+        return 0;
+    }
+    while (1) {
+        var v = parse_value(input, state);
+        if (v == -2) { return -2; }
+        n = n + 1;
+        skip_ws(input, state);
+        var c = peek(input, state);
+        if (c == ',') {
+            state[0] = state[0] + 1;
+        } else if (c == ']') {
+            state[0] = state[0] + 1;
+            return n;
+        } else {
+            return -2;
+        }
+    }
+    return n;
+}
+
+func parse_object(input, state) {
+    state[0] = state[0] + 1; // '{'
+    var n = 0;
+    skip_ws(input, state);
+    if (peek(input, state) == '}') {
+        state[0] = state[0] + 1;
+        return 0;
+    }
+    while (1) {
+        skip_ws(input, state);
+        if (peek(input, state) != '"') { return -2; }
+        parse_string(input, state);
+        skip_ws(input, state);
+        if (peek(input, state) != ':') { return -2; }
+        state[0] = state[0] + 1;
+        var v = parse_value(input, state);
+        if (v == -2) { return -2; }
+        n = n + 1;
+        skip_ws(input, state);
+        var c = peek(input, state);
+        if (c == ',') {
+            state[0] = state[0] + 1;
+        } else if (c == '}') {
+            state[0] = state[0] + 1;
+            return n;
+        } else {
+            return -2;
+        }
+    }
+    return n;
+}
+
+func main(input) {
+    var state = alloc(1);
+    var v = parse_value(input, state);
+    skip_ws(input, state);
+    if (v != -2 && state[0] == len(input)) {
+        out(1); // valid document
+    }
+    return v;
+}
+`
+
+func init() {
+	nested := make([]byte, 250)
+	for i := range nested {
+		nested[i] = '['
+	}
+	register(&Subject{
+		Name:      "jq",
+		TypeLabel: "C",
+		Source:    jqSrc,
+		Seeds: [][]byte{
+			[]byte(`{"a": [1, 2, {"b": true}], "c": "hi"}`),
+			[]byte(`[-12, "x", null]`),
+		},
+		Bugs: []Bug{
+			{
+				ID:       "jq-1-stack-overflow",
+				Witness:  nested,
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "parse_value",
+				Comment:  "unbounded parse_value recursion on nested arrays",
+			},
+		},
+	})
+}

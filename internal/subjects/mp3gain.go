@@ -1,0 +1,119 @@
+package subjects
+
+import "repro/internal/vm"
+
+// mp3gain models an MP3 replay-gain analyzer: frame-sync scanning,
+// bitrate table lookups, and a global-gain histogram. Bug mg-1 is the
+// zero-day analogue from the paper's §V-A: it is found by the
+// path-aware fuzzers but requires a VBR frame path to leave max_gain
+// below the histogram base — a state edge coverage does not retain.
+const mp3gainSrc = `
+// mp3gain: MP3 frame analyzer.
+// Frames: FF sync, hdr(1): bitrate_idx(hi 4 bits) | flags(lo 4 bits),
+// gain byte, payload(4).
+
+func frame_size(bitrate) {
+    var sz = 144 * bitrate / 14; // arbitrary model constant
+    return sz;
+}
+
+func scan_frame(input, pos, st) {
+    // st[0]=frames st[1]=max_gain st[2]=vbr_seen
+    if (pos + 3 > len(input)) { return len(input); }
+    var hdr = input[pos + 1];
+    var gain = input[pos + 2];
+    var bidx = hdr >> 4;
+    var flags = hdr & 15;
+    var bitrate_tab = alloc(16);
+    bitrate_tab[1] = 32;  bitrate_tab[2] = 40;  bitrate_tab[3] = 48;
+    bitrate_tab[4] = 56;  bitrate_tab[5] = 64;  bitrate_tab[6] = 80;
+    bitrate_tab[7] = 96;  bitrate_tab[8] = 112; bitrate_tab[9] = 128;
+    bitrate_tab[10] = 160; bitrate_tab[11] = 192; bitrate_tab[12] = 224;
+    bitrate_tab[13] = 256; bitrate_tab[14] = 320;
+    var br = bitrate_tab[bidx];
+    var padding = 144 * 8 / br; // BUG mg-2: free-format (0) and reserved (15) rates are zero
+    if (flags == 3 && bidx >= 12) {
+        // BUG mg-1 (setup): the VBR high-bitrate path trusts the gain
+        // byte as a signed offset from 64 without the clamp the normal
+        // path applies.
+        st[1] = gain - 64;
+        st[2] = 1;
+    } else {
+        st[1] = max(gain, 48);
+    }
+    st[0] = st[0] + 1;
+    return pos + 3 + padding % 4;
+}
+
+func histogram(st) {
+    var hist = alloc(256);
+    var idx = st[1] - 48;
+    hist[idx] = st[0]; // BUG mg-1 (trigger): idx < 0 only via the VBR path
+    return hist[idx];
+}
+
+func read_tail(input, pos) {
+    // ID3v1-style tail probe.
+    var t = input[len(input) - 1];
+    if (t == 'G') {
+        return input[len(input) + 2 - 8]; // BUG mg-3: short inputs read before the buffer
+    }
+    return 0;
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    var st = alloc(3);
+    var pos = 0;
+    while (pos + 1 < len(input)) {
+        if (input[pos] == 255) {
+            pos = scan_frame(input, pos, st);
+        } else {
+            pos = pos + 1;
+        }
+    }
+    if (st[0] > 0) {
+        histogram(st);
+    }
+    return read_tail(input, pos);
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "mp3gain",
+		TypeLabel: "C",
+		Source:    mp3gainSrc,
+		Seeds: [][]byte{
+			{255, 0x52, 100, 0, 0, 0, 0, 255, 0x91, 80, 1, 2, 3, 4},
+			{1, 2, 3, 4, 5},
+		},
+		Bugs: []Bug{
+			{
+				ID: "mg-1-hist-neg-index",
+				// VBR path: flags==3, bidx>=12, gain 10 -> max_gain -54,
+				// histogram index -102.
+				Witness:       []byte{255, 0xC3, 10, 0, 0, 0},
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "histogram",
+				PathDependent: true,
+				Comment: "the VBR high-bitrate frame path stores gain-64 unclamped; the " +
+					"histogram index goes negative (the paper's mp3gain zero-day analogue)",
+			},
+			{
+				ID:       "mg-2-free-format-div",
+				Witness:  []byte{255, 0x00, 100, 0, 0, 0},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "scan_frame",
+				Comment:  "free-format bitrate index 0 has a zero table entry",
+			},
+			{
+				ID:       "mg-3-tail-oob",
+				Witness:  []byte{1, 2, 3, 'G'},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "read_tail",
+				Comment:  "ID3 tail probe reads before the buffer on short inputs",
+			},
+		},
+	})
+}

@@ -1,0 +1,181 @@
+package subjects
+
+import "repro/internal/vm"
+
+// mp42aac models an MP4-to-AAC extractor (the Bento4 tool): recursive
+// box parsing, sample-table handling, and an esds decoder-config path
+// that feeds an SBR extension table. Bugs mp-3 and mp-6 are
+// path-dependent (the paper reports mp42aac zero-days found only by
+// the path-aware fuzzers).
+const mp42aacSrc = `
+// mp42aac: MP4 box parser.
+// Boxes: size(1) type(1) payload[size-2]; size includes the header.
+// Types: 'm' = container (moov/trak/mdia), 's' = stsz sample sizes,
+//        'e' = esds decoder config, 'c' = chunk offsets, 'h' = mvhd
+//        timescale, 'p' = packet samples.
+
+func parse_boxes(input, pos, end, st) {
+    while (pos + 2 <= end && pos + 2 <= len(input)) {
+        var size = input[pos];
+        var t = input[pos + 1];
+        if (size < 2) { return pos; }
+        var body = pos + 2;
+        var bend = min(pos + size, len(input));
+        if (t == 'm') {
+            parse_boxes(input, body, bend, st); // BUG mp-1: no nesting depth limit
+        } else if (t == 's') {
+            parse_stsz(input, body, bend, st);
+        } else if (t == 'e') {
+            parse_esds(input, body, bend, st);
+        } else if (t == 'h') {
+            parse_mvhd(input, body, bend, st);
+        } else if (t == 'c') {
+            parse_stco(input, body, bend, st);
+        } else if (t == 'p') {
+            decode_samples(input, body, bend, st);
+        }
+        pos = pos + size;
+    }
+    return pos;
+}
+
+func parse_stsz(input, pos, end, st) {
+    if (pos >= end) { return 0; }
+    var count = input[pos];
+    var sizes = alloc(count * count * 32); // BUG mp-2: quadratic allocation
+    var i = 0;
+    while (i < count && pos + 1 + i < end) {
+        sizes[i] = input[pos + 1 + i];
+        st[3] = st[3] + sizes[i];
+        i = i + 1;
+    }
+    return count;
+}
+
+func parse_esds(input, pos, end, st) {
+    if (pos + 2 > end) { return 0; }
+    var objtype = input[pos];
+    var cfg = input[pos + 1];
+    if (objtype == 64) {
+        // AAC: profile in the top 3 bits.
+        st[0] = cfg >> 5;
+        if ((cfg & 1) == 1) {
+            // BUG mp-3 (setup): only the explicit-SBR config path sets
+            // the extension flag; decode trusts profile*2+ext.
+            st[1] = 1;
+        }
+    } else {
+        st[0] = 1;
+        st[1] = 0;
+    }
+    return st[0];
+}
+
+func parse_mvhd(input, pos, end, st) {
+    if (pos + 2 > end) { return 0; }
+    var timescale = input[pos];
+    var duration = input[pos + 1];
+    out(duration * 1000 / timescale); // BUG mp-5: zero timescale
+    return 0;
+}
+
+func parse_stco(input, pos, end, st) {
+    if (pos >= end) { return 0; }
+    var n = input[pos];
+    var i = 0;
+    while (i < n) {
+        var off = input[pos + 1 + i]; // BUG mp-4: entry count unchecked against box end
+        st[2] = st[2] + off;
+        i = i + 1;
+    }
+    return n;
+}
+
+func decode_samples(input, pos, end, st) {
+    var sbr_tab = alloc(16);
+    var idx = st[0] * 2 + st[1];
+    sbr_tab[idx] = 1; // BUG mp-3 (trigger): profile 7 with SBR ext gives 15... profile from
+    // cfg>>5 is at most 7, so 7*2+1 = 15 fits; the REAL trigger is the
+    // doubled index below for parametric stereo.
+    var i = pos;
+    while (i < end && i < len(input)) {
+        if (input[i] == 0x21 && st[1] == 1) {
+            // Parametric-stereo extension payload doubles the index.
+            sbr_tab[idx * 2] = 2; // BUG mp-3: idx*2 up to 30 with the SBR path set
+        }
+        i = i + 1;
+    }
+    return idx;
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 'M' || input[1] != '4') { return 1; }
+    var st = alloc(4);
+    return parse_boxes(input, 2, len(input), st);
+}
+`
+
+func init() {
+	// mp-1 witness: deeply nested container boxes. Each 'm' box with
+	// size covering the rest recurses once per level.
+	mp1 := []byte{'M', '4'}
+	for i := 0; i < 250; i++ {
+		mp1 = append(mp1, 255, 'm')
+	}
+
+	// mp-3 witness: esds with AAC objtype 64, cfg = profile 7 <<5 | 1
+	// (0xE1), then a 'p' box containing the 0x21 extension byte.
+	mp3w := []byte{'M', '4',
+		4, 'e', 64, 0xE1, // esds box: size 4
+		3, 'p', 0x21} // packet box with PS extension marker
+
+	register(&Subject{
+		Name:      "mp42aac",
+		TypeLabel: "C++",
+		Source:    mp42aacSrc,
+		Seeds: [][]byte{
+			{'M', '4', 6, 'm', 4, 's', 2, 9, 4, 'h', 2, 10},
+			{'M', '4', 4, 'e', 64, 0x40, 3, 'p', 5},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "mp-1-box-recursion",
+				Witness:  mp1,
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "parse_boxes",
+				Comment:  "container boxes recurse without a nesting limit",
+			},
+			{
+				ID:       "mp-2-stsz-alloc",
+				Witness:  []byte{'M', '4', 4, 's', 200, 0},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "parse_stsz",
+				Comment:  "sample-size table allocation grows quadratically with the count byte",
+			},
+			{
+				ID:            "mp-3-sbr-oob",
+				Witness:       mp3w,
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "decode_samples",
+				PathDependent: true,
+				Comment: "profile 7 + the explicit-SBR esds path + a parametric-stereo packet " +
+					"index 30 into the 16-cell SBR table (mp42aac zero-day analogue)",
+			},
+			{
+				ID:       "mp-4-stco-oob",
+				Witness:  []byte{'M', '4', 3, 'c', 200},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_stco",
+				Comment:  "chunk-offset count is not checked against the box payload",
+			},
+			{
+				ID:       "mp-5-timescale-div",
+				Witness:  []byte{'M', '4', 4, 'h', 0, 50},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "parse_mvhd",
+				Comment:  "zero movie timescale divides the duration report by zero",
+			},
+		},
+	})
+}

@@ -1,0 +1,158 @@
+package subjects
+
+import "repro/internal/vm"
+
+// mujs models a tiny JavaScript expression evaluator: recursive-descent
+// expressions with precedence, unary chains, and a string-mode type
+// dispatch. Bug mj-3 is path-dependent: the string-typing path sets an
+// operand class that a later '+' dispatch indexes with.
+const mujsSrc = `
+// mujs: expression evaluator.
+// Grammar: expr = term (('+'|'-') term)* ; term = factor (('*'|'/') factor)* ;
+// factor = number | '(' expr ')' | '-' factor | '"' chars '"'.
+// state[0]=pos, state[1]=string-mode class (0 num, set to 3 by strings).
+
+func peek_ch(input, state) {
+    if (state[0] < len(input)) { return input[state[0]]; }
+    return -1;
+}
+
+func parse_factor(input, state) {
+    var c = peek_ch(input, state);
+    if (c == '(') {
+        state[0] = state[0] + 1;
+        var v = parse_expr(input, state); // BUG mj-1: unbounded recursion
+        if (peek_ch(input, state) == ')') { state[0] = state[0] + 1; }
+        return v;
+    }
+    if (c == '-') {
+        state[0] = state[0] + 1;
+        return -parse_factor(input, state);
+    }
+    if (c == '"') {
+        state[0] = state[0] + 1;
+        var n = 0;
+        while (state[0] < len(input) && input[state[0]] != '"') {
+            state[0] = state[0] + 1;
+            n = n + 1;
+        }
+        state[0] = state[0] + 1;
+        // BUG mj-3 (setup): string literals mark the operand class 3;
+        // numeric paths use 0 or 1, which the dispatch table expects.
+        state[1] = 3;
+        return n;
+    }
+    var v = 0;
+    var digits = 0;
+    while (state[0] < len(input)) {
+        var d = input[state[0]];
+        if (d >= '0' && d <= '9') {
+            v = v * 10 + (d - '0');
+            state[0] = state[0] + 1;
+            digits = digits + 1;
+        } else {
+            break;
+        }
+    }
+    if (digits > 4) { state[1] = 1; } // wide numbers are class 1
+    return v;
+}
+
+func apply_add(a, b, state) {
+    // Type dispatch: 2x2 table for (left class, right class).
+    var dispatch = alloc(4);
+    dispatch[0] = 0; dispatch[1] = 1; dispatch[2] = 1; dispatch[3] = 2;
+    var mode = dispatch[state[1] * 2 + state[2]]; // BUG mj-3 (trigger): class 3 -> index 6
+    if (mode == 2) { return a + b + 1; }
+    return a + b;
+}
+
+func parse_term(input, state) {
+    var v = parse_factor(input, state);
+    while (1) {
+        var c = peek_ch(input, state);
+        if (c == '*') {
+            state[0] = state[0] + 1;
+            v = v * parse_factor(input, state);
+        } else if (c == '/') {
+            state[0] = state[0] + 1;
+            var d = parse_factor(input, state);
+            v = v / d; // BUG mj-2: division by a zero factor
+        } else {
+            return v;
+        }
+    }
+    return v;
+}
+
+func parse_expr(input, state) {
+    var v = parse_term(input, state);
+    while (1) {
+        var c = peek_ch(input, state);
+        if (c == '+') {
+            state[0] = state[0] + 1;
+            state[2] = 0;
+            var saved = state[1];
+            state[1] = 0;
+            var r = parse_term(input, state);
+            state[2] = state[1];
+            state[1] = saved;
+            v = apply_add(v, r, state);
+        } else if (c == '-') {
+            state[0] = state[0] + 1;
+            v = v - parse_term(input, state);
+        } else {
+            return v;
+        }
+    }
+    return v;
+}
+
+func main(input) {
+    var state = alloc(3);
+    var v = parse_expr(input, state);
+    out(v);
+    return v;
+}
+`
+
+func init() {
+	mj1 := make([]byte, 250)
+	for i := range mj1 {
+		mj1[i] = '('
+	}
+	register(&Subject{
+		Name:      "mujs",
+		TypeLabel: "C",
+		Source:    mujsSrc,
+		Seeds: [][]byte{
+			[]byte(`(1+2)*34-5`),
+			[]byte(`"ab"-12/4`),
+		},
+		Bugs: []Bug{
+			{
+				ID:       "mj-1-paren-recursion",
+				Witness:  mj1,
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "parse_factor",
+				Comment:  "nested parentheses recurse without a depth limit",
+			},
+			{
+				ID:       "mj-2-div-zero",
+				Witness:  []byte("8/0"),
+				WantKind: vm.KindDivByZero,
+				WantFunc: "parse_term",
+				Comment:  "constant folding divides by a zero factor",
+			},
+			{
+				ID:            "mj-3-dispatch-oob",
+				Witness:       []byte(`"ab"+1`),
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "apply_add",
+				PathDependent: true,
+				Comment: "the string-literal path marks operand class 3; the 2x2 '+' dispatch " +
+					"table is indexed with class*2, reaching index 6",
+			},
+		},
+	})
+}

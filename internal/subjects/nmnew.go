@@ -1,0 +1,98 @@
+package subjects
+
+import "repro/internal/vm"
+
+// nmnew models a symbol-table dumper (binutils nm). The paper reports
+// that no fuzzer found any bug in nm-new across every configuration;
+// we reproduce that by guarding this subject's single planted bug
+// behind a 16-bit checksum equality over the whole symbol table —
+// satisfiable (the witness proves it) but beyond any coverage-guided
+// search within realistic budgets, since the checksum comparison gives
+// no partial feedback.
+const nmnewSrc = `
+// nmnew: symbol table dumper.
+// Layout: 7F 'E' 'L' 'F' nsyms(1) checksum(2 LE) entries: len(1) name[len] val(1).
+
+func checksum(input, pos, end) {
+    var sum = 0;
+    while (pos < end && pos < len(input)) {
+        sum = (sum + input[pos] * 31) & 0xFFFF;
+        pos = pos + 1;
+    }
+    return sum;
+}
+
+func dump_symbols(input, pos, nsyms) {
+    var printed = 0;
+    var i = 0;
+    while (i < nsyms && pos < len(input)) {
+        var nl = input[pos];
+        pos = pos + 1;
+        var j = 0;
+        while (j < nl && pos < len(input)) {
+            out(input[pos]);
+            pos = pos + 1;
+            j = j + 1;
+        }
+        if (pos < len(input)) {
+            out(input[pos]);
+            pos = pos + 1;
+        }
+        printed = printed + 1;
+        i = i + 1;
+    }
+    return printed;
+}
+
+func main(input) {
+    if (len(input) < 7) { return 1; }
+    if (input[0] != 0x7F || input[1] != 'E' || input[2] != 'L' || input[3] != 'F') {
+        return 1;
+    }
+    var nsyms = input[4];
+    var want = input[5] | (input[6] << 8);
+    var got = checksum(input, 7, len(input));
+    if (got == want && nsyms == 0x77 && len(input) > 32) {
+        // BUG nm-1: debug dump of an internal table, reachable only
+        // when the stored checksum matches the computed one exactly.
+        var dbg = alloc(4);
+        dbg[nsyms] = got; // OOB write, in practice unreachable by fuzzing
+        return dbg[nsyms];
+    }
+    return dump_symbols(input, 7, nsyms);
+}
+`
+
+func init() {
+	// Build the witness: header + 0x77 symbols byte + filler such that
+	// checksum(body) == stored checksum.
+	body := make([]byte, 30)
+	for i := range body {
+		body[i] = byte('a' + i%20)
+	}
+	sum := 0
+	for _, b := range body {
+		sum = (sum + int(b)*31) & 0xFFFF
+	}
+	witness := append([]byte{0x7F, 'E', 'L', 'F', 0x77, byte(sum & 255), byte(sum >> 8)}, body...)
+
+	register(&Subject{
+		Name:      "nm-new",
+		TypeLabel: "C",
+		Source:    nmnewSrc,
+		Seeds: [][]byte{
+			{0x7F, 'E', 'L', 'F', 2, 0, 0, 3, 'f', 'o', 'o', 9, 2, 'h', 'i', 4},
+		},
+		Bugs: []Bug{
+			{
+				ID:          "nm-1-checksum-gated",
+				Witness:     witness,
+				WantKind:    vm.KindOOBWrite,
+				WantFunc:    "main",
+				Unreachable: true,
+				Comment: "guarded by a full-input 16-bit checksum equality with no partial " +
+					"feedback; reproduces the paper's empty nm-new row",
+			},
+		},
+	})
+}

@@ -1,0 +1,203 @@
+package subjects
+
+import "repro/internal/vm"
+
+// objdump models an instruction-stream disassembler: prefix-driven
+// decode state, escape opcodes, ModRM/SIB addressing, a label table
+// that accumulates across branches, and section alignment. It is one of
+// the bug-densest subjects, and its cull-favored profile mirrors the
+// paper (cull found 12 objdump bugs vs pcguard's 8): several bugs are
+// reachable only after the decoder state machine is driven through
+// particular prefix paths or accumulates state across many
+// instructions.
+const objdumpSrc = `
+// objdump: byte-code disassembler.
+// Layout: "OD" align(1) code bytes...
+// Decode state st: st[0]=opsize prefix, st[1]=segment prefix,
+// st[2]=label count, st[3]=instruction count.
+
+func decode_escape(input, pos, st) {
+    // 0x0F escape: second opcode byte selects an extended table.
+    var ext_tab = alloc(32);
+    var op2 = 0;
+    if (pos < len(input)) { op2 = input[pos]; }
+    var group = op2 >> 3;
+    ext_tab[group * 5] = op2; // BUG ob-1: group*5 reaches 155 for op2 255
+    return pos + 1;
+}
+
+func decode_modrm(input, pos, st) {
+    if (pos >= len(input)) { return pos; }
+    var modrm = input[pos];
+    pos = pos + 1;
+    var mode = modrm >> 6;
+    var rm = modrm & 7;
+    if (mode != 3 && rm == 4) {
+        // SIB byte follows.
+        if (pos < len(input)) {
+            var sib = input[pos];
+            pos = pos + 1;
+            var scale_tab = alloc(4);
+            scale_tab[0] = 1; scale_tab[1] = 2; scale_tab[2] = 4; scale_tab[3] = 8;
+            var sc = scale_tab[sib >> 5]; // BUG ob-2: 3-bit shift indexes a 4-entry table
+            out(sc);
+        }
+    }
+    if (mode == 1) { pos = pos + 1; }
+    if (mode == 2) { pos = pos + 4; }
+    return pos;
+}
+
+func decode_imm(input, pos, st) {
+    var width = 1;
+    if (st[0] == 1) { width = 2; }
+    // BUG ob-3 (path-dependent): the operand-size-prefix path reads a
+    // 2-byte immediate without re-checking the buffer end.
+    var v = input[pos];
+    if (width == 2) {
+        v = v | (input[pos + 1] << 8);
+    }
+    out(v);
+    return pos + width;
+}
+
+func record_label(labels, st, target) {
+    labels[st[2]] = target; // BUG ob-4: label count creeps past 24 across many branches
+    st[2] = st[2] + 1;
+    return 0;
+}
+
+func align_section(pos, align) {
+    var pad = pos % align; // BUG ob-5: zero alignment byte
+    return pos + pad;
+}
+
+func read_symbol(input, pos, strtab_off) {
+    // Symbol names live at strtab_off + index.
+    var idx = input[pos];
+    return input[strtab_off + idx]; // BUG ob-6: unchecked string table offset
+}
+
+func main(input) {
+    if (len(input) < 4) { return 1; }
+    if (input[0] != 'O' || input[1] != 'D') { return 1; }
+    var align = input[2];
+    var st = alloc(4);
+    var labels = alloc(24);
+    var pos = 3;
+    while (pos < len(input)) {
+        var op = input[pos];
+        pos = pos + 1;
+        if (op == 0x66) {
+            st[0] = 1;
+        } else if (op == 0x2E) {
+            st[1] = 1;
+        } else if (op == 0x0F) {
+            pos = decode_escape(input, pos, st);
+            st[0] = 0;
+        } else if (op == 0x89 || op == 0x8B) {
+            pos = decode_modrm(input, pos, st);
+            st[0] = 0;
+        } else if (op == 0xB8) {
+            if (pos < len(input)) {
+                pos = decode_imm(input, pos, st);
+            }
+            st[0] = 0;
+        } else if (op == 0xEB) {
+            if (pos < len(input)) {
+                record_label(labels, st, pos + input[pos]);
+                pos = pos + 1;
+            }
+            st[0] = 0;
+        } else if (op == 0x90) {
+            pos = align_section(pos, align);
+        } else if (op == 0xA1) {
+            if (pos + 1 < len(input)) {
+                out(read_symbol(input, pos, input[pos + 1]));
+            }
+            pos = pos + 2;
+            st[0] = 0;
+        } else if (op == 0x06) {
+            abort(); // BUG ob-7: reserved opcode hits an internal abort
+        } else {
+            st[0] = 0;
+        }
+        st[3] = st[3] + 1;
+    }
+    return st[3];
+}
+`
+
+func init() {
+	// ob-4 witness: 25 short-jump instructions creep the label counter
+	// past the 24-entry table.
+	ob4 := []byte{'O', 'D', 1}
+	for i := 0; i < 25; i++ {
+		ob4 = append(ob4, 0xEB, 1)
+	}
+
+	register(&Subject{
+		Name:      "objdump",
+		TypeLabel: "C",
+		Source:    objdumpSrc,
+		Seeds: [][]byte{
+			{'O', 'D', 4, 0x90, 0xB8, 7, 0x89, 0xC3, 0xEB, 2, 0x90},
+			{'O', 'D', 1, 0x66, 0xB8, 1, 2, 0x8B, 0x04, 0x25},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "ob-1-escape-oob",
+				Witness:  []byte{'O', 'D', 1, 0x0F, 0xFF},
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "decode_escape",
+				Comment:  "extended-opcode group index group*5 overruns the 32-entry table",
+			},
+			{
+				ID:       "ob-2-sib-scale-oob",
+				Witness:  []byte{'O', 'D', 1, 0x8B, 0x04, 0x80},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "decode_modrm",
+				Comment:  "SIB scale uses a 3-bit shift against a 4-entry table",
+			},
+			{
+				ID:            "ob-3-imm16-oob",
+				Witness:       []byte{'O', 'D', 1, 0x66, 0xB8, 5},
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "decode_imm",
+				PathDependent: true,
+				Comment: "the 0x66 operand-size prefix path reads a 2-byte immediate; the " +
+					"buffer check upstream only covers 1 byte",
+			},
+			{
+				ID:            "ob-4-label-creep",
+				Witness:       ob4,
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "record_label",
+				PathDependent: true,
+				Comment: "each short-jump decode path appends to the label table unchecked; " +
+					"25 branches creep past its 24 cells (the cflow pattern)",
+			},
+			{
+				ID:       "ob-5-align-div",
+				Witness:  []byte{'O', 'D', 0, 0x90},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "align_section",
+				Comment:  "zero section alignment divides in the padding computation",
+			},
+			{
+				ID:       "ob-6-strtab-oob",
+				Witness:  []byte{'O', 'D', 1, 0xA1, 200, 100},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "read_symbol",
+				Comment:  "symbol name lookup adds an unchecked string-table offset",
+			},
+			{
+				ID:       "ob-7-reserved-abort",
+				Witness:  []byte{'O', 'D', 1, 0x06},
+				WantKind: vm.KindAbort,
+				WantFunc: "main",
+				Comment:  "reserved opcode 0x06 aborts the disassembler",
+			},
+		},
+	})
+}

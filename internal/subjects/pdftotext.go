@@ -1,0 +1,258 @@
+package subjects
+
+import "repro/internal/vm"
+
+// pdftotext models a PDF text extractor (the xpdf tool): object soup
+// with dictionaries, streams, arrays, an xref table and a text renderer
+// driven by font state. It is the bug-richest subject, as in the paper
+// (cull found 18 pdftotext bugs, its largest win), with two
+// path-dependent bugs among plainly reachable ones.
+const pdftotextSrc = `
+// pdftotext: PDF-ish object parser.
+// Layout: "%P" then records: kind(1) ...
+//   'o' num(1) type(1): object header; type: 'd' dict, 's' stream,
+//       'a' array, 'f' font.
+//   'x' n(1) offsets[n]: xref table.
+//   't' len(1) bytes: text to render with current font state.
+//   'u' num(1) gen(1): incremental update record.
+//   'e': trailer.
+
+func parse_dict(input, pos, st) {
+    if (pos >= len(input)) { return pos; }
+    var nkeys = input[pos];
+    pos = pos + 1;
+    var keys = alloc(8);
+    var i = 0;
+    while (i < nkeys && pos + 1 < len(input)) {
+        keys[i] = input[pos]; // BUG pd-1: key count unchecked against 8 slots
+        pos = pos + 2;
+        i = i + 1;
+    }
+    return pos;
+}
+
+func parse_stream(input, pos, st) {
+    if (pos >= len(input)) { return pos; }
+    var slen = input[pos] - 16; // stored biased by 16
+    var buf = alloc(slen); // BUG pd-2: bias makes short lengths negative
+    var i = 0;
+    while (i < slen && pos + 1 + i < len(input)) {
+        buf[i] = input[pos + 1 + i];
+        i = i + 1;
+    }
+    return pos + 1 + max(slen, 0);
+}
+
+func parse_array(input, pos, depth) {
+    // Nested arrays: 'a' n items, where an item of 255 opens a nested
+    // array. BUG pd-3: no depth limit.
+    if (pos >= len(input)) { return pos; }
+    var n = input[pos];
+    pos = pos + 1;
+    var i = 0;
+    while (i < n && pos < len(input)) {
+        if (input[pos] == 255) {
+            pos = parse_array(input, pos + 1, depth + 1);
+        } else {
+            pos = pos + 1;
+        }
+        i = i + 1;
+    }
+    return pos;
+}
+
+func parse_font(input, pos, st) {
+    if (pos + 2 > len(input)) { return pos; }
+    var ftype = input[pos];
+    var flags = input[pos + 1];
+    if (ftype == 1 && (flags & 8) != 0) {
+        // BUG pd-4 (setup): Type1 fonts with the symbolic flag keep the
+        // raw class byte; every other path clamps to 0..3.
+        st[0] = flags >> 4;
+    } else {
+        st[0] = min(flags >> 4, 3);
+    }
+    return pos + 2;
+}
+
+func render_text(input, pos, n, st) {
+    var widths = alloc(16);
+    var total = 0;
+    var i = 0;
+    while (i < n && pos + i < len(input)) {
+        var c = input[pos + i];
+        var w = widths[st[0] * 4 + (c & 3)]; // BUG pd-4 (trigger): class > 3 via Type1 path
+        total = total + w + c;
+        i = i + 1;
+    }
+    out(total);
+    return pos + n;
+}
+
+func parse_xref(input, pos, st) {
+    if (pos >= len(input)) { return pos; }
+    var n = input[pos];
+    pos = pos + 1;
+    var i = 0;
+    while (i < n) {
+        var off = input[pos + i]; // BUG pd-5: entry count unchecked against input
+        st[2] = st[2] + off;
+        i = i + 1;
+    }
+    return pos + n;
+}
+
+func apply_update(input, pos, st, gens) {
+    if (pos + 2 > len(input)) { return pos; }
+    var num = input[pos];
+    var gen = input[pos + 1];
+    if (gen > 0) {
+        // BUG pd-6 (creep): each incremental update appends to the
+        // generation journal without bounds.
+        gens[st[1]] = num;
+        st[1] = st[1] + 1;
+    }
+    return pos + 2;
+}
+
+func page_scale(input, pos) {
+    if (pos + 2 > len(input)) { return 0; }
+    var w = input[pos];
+    var h = input[pos + 1];
+    return (w * 72) / h; // BUG pd-7: zero media-box height
+}
+
+func main(input) {
+    if (len(input) < 3) { return 1; }
+    if (input[0] != '%' || input[1] != 'P') { return 1; }
+    var st = alloc(3);
+    var gens = alloc(12);
+    var pos = 2;
+    var objects = 0;
+    while (pos < len(input)) {
+        var k = input[pos];
+        pos = pos + 1;
+        if (k == 'o') {
+            if (pos + 2 > len(input)) { return objects; }
+            var typ = input[pos + 1];
+            pos = pos + 2;
+            if (typ == 'd') {
+                pos = parse_dict(input, pos, st);
+            } else if (typ == 's') {
+                pos = parse_stream(input, pos, st);
+            } else if (typ == 'a') {
+                pos = parse_array(input, pos, 0);
+            } else if (typ == 'f') {
+                pos = parse_font(input, pos, st);
+            }
+            objects = objects + 1;
+        } else if (k == 't') {
+            if (pos < len(input)) {
+                var n = input[pos];
+                pos = render_text(input, pos + 1, n, st);
+            }
+        } else if (k == 'x') {
+            pos = parse_xref(input, pos, st);
+        } else if (k == 'u') {
+            pos = apply_update(input, pos, st, gens);
+        } else if (k == 'm') {
+            out(page_scale(input, pos));
+            pos = pos + 2;
+        } else if (k == 'e') {
+            if (objects == 0) {
+                abort(); // BUG pd-8: trailer before any object
+            }
+            return objects;
+        }
+    }
+    return objects;
+}
+`
+
+func init() {
+	// pd-3 witness: nested arrays, each 255 marker opening a level.
+	pd3 := []byte{'%', 'P', 'o', 1, 'a', 3}
+	for i := 0; i < 250; i++ {
+		pd3 = append(pd3, 255, 3)
+	}
+
+	// pd-6 witness: 13 update records with nonzero generations.
+	pd6 := []byte{'%', 'P'}
+	for i := 0; i < 13; i++ {
+		pd6 = append(pd6, 'u', byte(i), 2)
+	}
+
+	register(&Subject{
+		Name:      "pdftotext",
+		TypeLabel: "C/C++",
+		Source:    pdftotextSrc,
+		Seeds: [][]byte{
+			{'%', 'P', 'o', 1, 'd', 2, 'K', 1, 'V', 2, 'o', 2, 'f', 1, 0x05, 't', 3, 'h', 'i', '!', 'e'},
+			{'%', 'P', 'o', 1, 's', 20, 'd', 'a', 't', 'a', 'm', 4, 3, 'e'},
+		},
+		Bugs: []Bug{
+			{
+				ID:       "pd-1-dict-keys-oob",
+				Witness:  append([]byte{'%', 'P', 'o', 1, 'd', 12}, make([]byte, 26)...),
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "parse_dict",
+				Comment:  "dictionary key count exceeds the fixed 8-slot key table",
+			},
+			{
+				ID:       "pd-2-stream-neg-alloc",
+				Witness:  []byte{'%', 'P', 'o', 1, 's', 2},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "parse_stream",
+				Comment:  "biased stream length underflows to a negative allocation",
+			},
+			{
+				ID:       "pd-3-array-recursion",
+				Witness:  pd3,
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "parse_array",
+				Comment:  "nested array markers recurse without a depth limit",
+			},
+			{
+				ID: "pd-4-font-class-oob",
+				Witness: []byte{'%', 'P',
+					'o', 1, 'f', 1, 0x78, // Type1 + symbolic flag (bit 3), class 7
+					't', 2, 'a', 'b'},
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "render_text",
+				PathDependent: true,
+				Comment: "the Type1+symbolic font path skips the class clamp; text render " +
+					"indexes widths[class*4] with class 7",
+			},
+			{
+				ID:       "pd-5-xref-oob",
+				Witness:  []byte{'%', 'P', 'x', 9, 1},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "parse_xref",
+				Comment:  "xref entry count is not checked against the input",
+			},
+			{
+				ID:            "pd-6-gen-journal-creep",
+				Witness:       pd6,
+				WantKind:      vm.KindOOBWrite,
+				WantFunc:      "apply_update",
+				PathDependent: true,
+				Comment: "each nonzero-generation update appends to a 12-entry journal " +
+					"without bounds; 13 updates creep past it",
+			},
+			{
+				ID:       "pd-7-media-div",
+				Witness:  []byte{'%', 'P', 'm', 4, 0},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "page_scale",
+				Comment:  "zero media-box height divides the scale computation",
+			},
+			{
+				ID:       "pd-8-early-trailer",
+				Witness:  []byte{'%', 'P', 'e'},
+				WantKind: vm.KindAbort,
+				WantFunc: "main",
+				Comment:  "trailer record before any object aborts",
+			},
+		},
+	})
+}

@@ -1,0 +1,181 @@
+package subjects
+
+import "repro/internal/vm"
+
+// sqlite3 models a SQL front end: keyword tokenizer, statement parser
+// for CREATE/INSERT/SELECT, and a tiny expression evaluator. Its
+// grammar is deep and sequential — progress requires matching whole
+// keywords before any interesting code unlocks — which is why the
+// paper's pcguard out-performs the baseline path fuzzer here (9 bugs vs
+// 5): fast coverage growth matters more than path discrimination.
+const sqlite3Src = `
+// sqlite3: SQL front end.
+// Statements: C name ncols coltypes... | I name nvals vals... |
+//             S name col op val | V.
+// (Single-letter keywords keep inputs small; the structure after the
+// keyword is what gates the bugs.)
+
+func type_affinity(t, st) {
+    // Column type codes: 1=INT 2=TEXT 3=REAL 4=BLOB.
+    if (t == 4 && st[1] == 1) {
+        // BUG sq-1 (setup): BLOB columns after a REAL column keep the
+        // raw code; every other path normalises to 0..3.
+        st[0] = t + st[1] * 2;
+    } else {
+        st[0] = min(t, 3);
+    }
+    if (t == 3) { st[1] = 1; } else { st[1] = 0; }
+    return st[0];
+}
+
+func create_table(input, pos, st, schema) {
+    if (pos + 2 > len(input)) { return pos; }
+    var name = input[pos];
+    var ncols = input[pos + 1];
+    pos = pos + 2;
+    var i = 0;
+    while (i < ncols && pos < len(input)) {
+        var t = input[pos];
+        pos = pos + 1;
+        schema[i] = type_affinity(t, st); // BUG sq-2: ncols unchecked against 16 slots
+        i = i + 1;
+    }
+    st[2] = ncols;
+    return pos;
+}
+
+func insert_row(input, pos, st, schema) {
+    if (pos + 2 > len(input)) { return pos; }
+    var nvals = input[pos + 1];
+    pos = pos + 2;
+    var afftab = alloc(4);
+    afftab[0] = 1; afftab[1] = 1; afftab[2] = 2; afftab[3] = 4;
+    var i = 0;
+    while (i < nvals && pos < len(input)) {
+        var v = input[pos];
+        pos = pos + 1;
+        var conv = afftab[st[0]]; // BUG sq-1 (trigger): affinity 6 only via the BLOB-after-REAL path
+        out(v * conv);
+        i = i + 1;
+    }
+    return pos;
+}
+
+func eval_where(input, pos, st) {
+    if (pos + 3 > len(input)) { return 0; }
+    var col = input[pos];
+    var op = input[pos + 1];
+    var val = input[pos + 2];
+    if (op == '%') {
+        return col % val; // BUG sq-3: modulo by a zero literal
+    }
+    if (op == '(') {
+        // Nested subquery condition.
+        return eval_where(input, pos + 1, st); // BUG sq-4: no nesting limit
+    }
+    if (op == '=') { return bool_to_int(col == val); }
+    if (op == '<') { return bool_to_int(col < val); }
+    return 0;
+}
+
+func bool_to_int(b) {
+    if (b) { return 1; }
+    return 0;
+}
+
+func select_rows(input, pos, st) {
+    if (pos + 1 > len(input)) { return pos; }
+    var r = eval_where(input, pos + 1, st);
+    out(r);
+    return pos + 4;
+}
+
+func main(input) {
+    if (len(input) < 2) { return 1; }
+    var st = alloc(3);
+    var schema = alloc(16);
+    var pos = 0;
+    var stmts = 0;
+    while (pos < len(input)) {
+        var k = input[pos];
+        pos = pos + 1;
+        if (k == 'C') {
+            pos = create_table(input, pos, st, schema);
+        } else if (k == 'I') {
+            pos = insert_row(input, pos, st, schema);
+        } else if (k == 'S') {
+            pos = select_rows(input, pos, st);
+        } else if (k == 'V') {
+            if (st[2] == 0) {
+                abort(); // BUG sq-5: VACUUM without a schema aborts
+            }
+        } else if (k == ';') {
+            stmts = stmts + 1;
+        } else {
+            return stmts;
+        }
+    }
+    return stmts;
+}
+`
+
+func init() {
+	// sq-4 witness: deeply nested '(' conditions — every byte after the
+	// SELECT keyword is '(' so each recursion level sees another one.
+	sq4 := []byte{'S'}
+	for i := 0; i < 250; i++ {
+		sq4 = append(sq4, '(')
+	}
+
+	register(&Subject{
+		Name:      "sqlite3",
+		TypeLabel: "C",
+		Source:    sqlite3Src,
+		Seeds: [][]byte{
+			{'C', 't', 2, 1, 2, ';', 'I', 't', 2, 10, 20, ';', 'S', 't', 5, '=', 5, ';'},
+			{'C', 'u', 1, 3, ';', 'V', ';'},
+		},
+		Bugs: []Bug{
+			{
+				ID: "sq-1-affinity-oob",
+				// CREATE with a REAL column then a BLOB column takes the
+				// unnormalised path: affinity 4+2 = 6; the next INSERT
+				// indexes the 4-entry afftab with it.
+				Witness:       []byte{'C', 't', 2, 3, 4, 'I', 't', 1, 7},
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "insert_row",
+				PathDependent: true,
+				Comment: "BLOB-after-REAL column ordering keeps an unnormalised affinity (6) " +
+					"that the INSERT conversion table (4 entries) is indexed with",
+			},
+			{
+				ID:       "sq-2-schema-oob",
+				Witness:  append([]byte{'C', 't', 20}, make([]byte, 20)...),
+				WantKind: vm.KindOOBWrite,
+				WantFunc: "create_table",
+				Comment:  "column count exceeds the 16-slot schema",
+			},
+			{
+				ID:       "sq-3-mod-zero",
+				Witness:  []byte{'S', 't', 7, '%', 0},
+				WantKind: vm.KindDivByZero,
+				WantFunc: "eval_where",
+				Comment:  "WHERE col % 0 divides by zero",
+			},
+			{
+				ID:       "sq-4-subquery-recursion",
+				Witness:  sq4,
+				WantKind: vm.KindStackOverflow,
+				WantFunc: "eval_where",
+				Comment:  "nested subquery conditions recurse without a limit",
+			},
+			{
+				ID:       "sq-5-vacuum-abort",
+				Witness:  []byte{'V', ';'},
+				WantKind: vm.KindAbort,
+				WantFunc: "main",
+				Comment:  "VACUUM with no schema aborts",
+			},
+		},
+	})
+}

@@ -1,0 +1,122 @@
+// Package subjects provides the benchmark suite of the reproduction: 18
+// MiniC programs named after the UNIFUZZ subjects the paper evaluates
+// on. Each is a small but realistic parser for a format in its
+// namesake's domain, with a documented inventory of planted bugs —
+// several reachable only through path-dependent program state, the
+// phenomenon the paper's feedback targets.
+//
+// Every planted bug carries a witness input; the test suite executes
+// all witnesses and asserts the expected fault, so the ground-truth bug
+// inventory stays honest as subjects evolve.
+package subjects
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/vm"
+)
+
+// Bug documents one planted bug.
+type Bug struct {
+	// ID is a stable short name, e.g. "stack-ovf-token".
+	ID string
+	// Witness triggers the bug directly.
+	Witness []byte
+	// WantKind is the expected sanitizer fault.
+	WantKind vm.CrashKind
+	// WantFunc is the function the fault occurs in.
+	WantFunc string
+	// PathDependent marks bugs whose trigger requires program state set
+	// by a specific intra-procedural path (the Fig. 1 pattern).
+	PathDependent bool
+	// Comment explains the trigger condition.
+	Comment string
+	// Unreachable marks bugs guarded so strongly no fuzzer is expected
+	// to reach them (the nm-new case); their witnesses still work.
+	Unreachable bool
+}
+
+// Subject is one benchmark program.
+type Subject struct {
+	// Name matches the UNIFUZZ subject it stands in for.
+	Name string
+	// TypeLabel mirrors Table I's language column (cosmetic).
+	TypeLabel string
+	// Source is the MiniC program text.
+	Source string
+	// Seeds is the initial corpus.
+	Seeds [][]byte
+	// Bugs inventories the planted bugs.
+	Bugs []Bug
+
+	compileOnce sync.Once
+	prog        *cfg.Program
+	compileErr  error
+}
+
+// Program compiles the subject (cached).
+func (s *Subject) Program() (*cfg.Program, error) {
+	s.compileOnce.Do(func() {
+		s.prog, s.compileErr = cfg.Compile(s.Source)
+		if s.compileErr != nil {
+			s.compileErr = fmt.Errorf("subject %s: %w", s.Name, s.compileErr)
+		}
+	})
+	return s.prog, s.compileErr
+}
+
+// MustProgram compiles the subject, panicking on error.
+func (s *Subject) MustProgram() *cfg.Program {
+	p, err := s.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var (
+	mu       sync.Mutex
+	registry = make(map[string]*Subject)
+)
+
+func register(s *Subject) *Subject {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("subjects: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// Get returns the named subject, or nil.
+func Get(name string) *Subject {
+	mu.Lock()
+	defer mu.Unlock()
+	return registry[name]
+}
+
+// Names returns all subject names in the paper's (alphabetical) order.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every subject in name order.
+func All() []*Subject {
+	names := Names()
+	out := make([]*Subject, len(names))
+	for i, n := range names {
+		out[i] = Get(n)
+	}
+	return out
+}

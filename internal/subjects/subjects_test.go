@@ -1,0 +1,175 @@
+package subjects
+
+import (
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/instrument"
+	"repro/internal/vm"
+)
+
+// TestAllSubjectsCompile compiles every registered subject.
+func TestAllSubjectsCompile(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("no subjects registered")
+	}
+	for _, s := range all {
+		if _, err := s.Program(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	t.Logf("%d subjects", len(all))
+}
+
+// TestSeedsDoNotCrash verifies the seed corpora run clean: UNIFUZZ
+// seeds are valid inputs, and crashing seeds would contaminate every
+// campaign.
+func TestSeedsDoNotCrash(t *testing.T) {
+	for _, s := range All() {
+		prog, err := s.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Seeds) == 0 {
+			t.Errorf("%s: no seeds", s.Name)
+			continue
+		}
+		for i, seed := range s.Seeds {
+			res := vm.Run(prog, "main", seed, vm.NullTracer{}, vm.DefaultLimits())
+			if res.Status != vm.StatusOK {
+				msg := ""
+				if res.Crash != nil {
+					msg = res.Crash.String()
+				}
+				t.Errorf("%s: seed %d: status %v %s", s.Name, i, res.Status, msg)
+			}
+		}
+	}
+}
+
+// TestBugWitnesses executes every planted bug's witness and asserts the
+// expected fault kind and function: the ground-truth inventory check.
+func TestBugWitnesses(t *testing.T) {
+	for _, s := range All() {
+		prog, err := s.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Bugs) == 0 {
+			t.Errorf("%s: no bug inventory", s.Name)
+		}
+		seen := make(map[string]bool)
+		for _, b := range s.Bugs {
+			if b.Witness == nil {
+				t.Errorf("%s/%s: no witness", s.Name, b.ID)
+				continue
+			}
+			res := vm.Run(prog, "main", b.Witness, vm.NullTracer{}, vm.DefaultLimits())
+			if res.Status != vm.StatusCrash {
+				t.Errorf("%s/%s: witness did not crash (status %v, ret %d)", s.Name, b.ID, res.Status, res.Ret)
+				continue
+			}
+			if res.Crash.Kind != b.WantKind {
+				t.Errorf("%s/%s: crash kind %v, want %v (%s)", s.Name, b.ID, res.Crash.Kind, b.WantKind, res.Crash)
+				continue
+			}
+			if res.Crash.Func != b.WantFunc {
+				t.Errorf("%s/%s: crash in %q, want %q (%s)", s.Name, b.ID, res.Crash.Func, b.WantFunc, res.Crash)
+				continue
+			}
+			key := res.Crash.BugKey()
+			if seen[key] {
+				t.Errorf("%s/%s: bug key %s collides with another planted bug", s.Name, b.ID, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestWitnessCrashSitesDistinct verifies that distinct planted bugs
+// yield distinct ground-truth keys AND distinct stack hashes, so both
+// deduplication levels can tell them apart.
+func TestWitnessCrashSitesDistinct(t *testing.T) {
+	for _, s := range All() {
+		prog, err := s.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes := make(map[uint64]string)
+		for _, b := range s.Bugs {
+			if b.Witness == nil {
+				continue
+			}
+			res := vm.Run(prog, "main", b.Witness, vm.NullTracer{}, vm.DefaultLimits())
+			if res.Status != vm.StatusCrash {
+				continue
+			}
+			h := res.Crash.StackHash(5)
+			if prev, dup := hashes[h]; dup {
+				t.Errorf("%s: %s and %s share a stack hash", s.Name, prev, b.ID)
+			}
+			hashes[h] = b.ID
+		}
+	}
+}
+
+// TestSubjectsFuzzable smoke-checks that a short path-feedback campaign
+// finds at least one bug in each subject with shallow bugs. Subjects
+// whose bugs are all deep or unreachable are exempt: nm-new (checksum
+// gate, by design), ffmpeg (header-gated decoder state), infotocap and
+// sqlite3 (section/grammar depth), and jq (its single bug is ~96 levels
+// of parser recursion, matching its real-world counterpart's depth bug;
+// campaigns at evaluation scale do find it).
+func TestSubjectsFuzzable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	easy := []string{"cflow", "flvmeta", "gdk", "imginfo", "jhead",
+		"lame", "mp3gain", "mp42aac", "mujs", "objdump", "pdftotext", "tiffsplit"}
+	for _, name := range easy {
+		sub := Get(name)
+		prog, err := sub.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fuzz.New(prog, fuzz.Options{
+			Feedback: instrument.FeedbackPath,
+			Seed:     1,
+			MapSize:  1 << 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sub.Seeds {
+			f.AddSeed(s)
+		}
+		f.Fuzz(40000)
+		rep := f.Report()
+		if len(rep.Bugs) == 0 {
+			t.Errorf("%s: no bugs found in %d execs (queue %d)", name, rep.Stats.Execs, rep.QueueLen)
+		} else {
+			t.Logf("%-10s %d bugs, queue %d", name, len(rep.Bugs), rep.QueueLen)
+		}
+	}
+}
+
+// TestPathDependentBugsDocumented: at least a third of the suite's
+// subjects plant a path-dependent bug, keeping the evaluation's
+// headline phenomenon well represented.
+func TestPathDependentBugsDocumented(t *testing.T) {
+	withPD := 0
+	total := 0
+	for _, s := range All() {
+		total++
+		for _, b := range s.Bugs {
+			if b.PathDependent {
+				withPD++
+				break
+			}
+		}
+	}
+	if withPD*3 < total {
+		t.Errorf("only %d of %d subjects plant a path-dependent bug", withPD, total)
+	}
+}

@@ -1,0 +1,143 @@
+package subjects
+
+import "repro/internal/vm"
+
+// tiffsplit models a TIFF splitter: IFD walking plus a per-strip
+// processing loop whose sample classifier is branch-dense — the shape
+// behind tiffsplit's 22x queue growth in the paper's Table I. Bug tf-3
+// is path-dependent (LZW compression path leaves the predictor
+// unclamped).
+const tiffsplitSrc = `
+// tiffsplit: TIFF splitter.
+// Layout: "T*" then IFD: count(1) entries: tag(1) val(1).
+// Tags: 1=width 2=height 3=bits 4=compression 5=predictor 6=strip_off
+//       7=strip_count 8=process-strips trigger.
+
+// classify_pixel is branch-dense on purpose: six independent tests.
+func classify_pixel(v) {
+    var c = 0;
+    if (v > 128) { c = c + 1; } else { c = c + 2; }
+    if ((v & 1) != 0) { c = c * 2; } else { c = c + 5; }
+    if (v > 64 && v < 192) { c = c ^ 3; } else { c = c + 7; }
+    if ((v & 8) != 0) { c = c + 11; } else { c = c * 3; }
+    if (v < 16) { c = c - 1; } else { c = c + 4; }
+    if ((v & 32) != 0) { c = c ^ 6; } else { c = c + 9; }
+    return c;
+}
+
+func set_compression(hdr, val) {
+    hdr[3] = val;
+    if (val == 5) {
+        // BUG tf-3 (setup): the LZW path trusts the predictor tag
+        // value stored earlier; the other paths reset it to 1.
+    } else {
+        hdr[4] = 1;
+    }
+    return 0;
+}
+
+func process_strips(input, hdr) {
+    var w = hdr[0];
+    var h = hdr[1];
+    var bits = hdr[2];
+    if (w == 0 || h == 0) { return 0; }
+    var bytes_per_row = w * bits / 8; // BUG tf-1: zero bits makes rows empty...
+    var rows = alloc(w * h * bits); // BUG tf-2: unchecked product allocation
+    var off = hdr[5];
+    var n = hdr[6];
+    var i = 0;
+    while (i < n) {
+        var v = input[off + i]; // BUG tf-4: strip offset unchecked against input
+        var c = classify_pixel(v);
+        var slot = c & 31;
+        if (slot < w * h * bits) {
+            rows[slot] = v;
+        }
+        i = i + 1;
+    }
+    // Predictor pass: horizontal differencing with stride hdr[4].
+    var ptab = alloc(4);
+    ptab[1] = 1; ptab[2] = 2; ptab[3] = 3;
+    var stride = ptab[hdr[4]]; // BUG tf-3 (trigger): predictor > 3 only via the LZW path
+    var chunks = bytes_per_row / stride; // BUG tf-5: zero row bytes (bits<8) divide later
+    out(chunks);
+    return n;
+}
+
+func main(input) {
+    if (len(input) < 3) { return 1; }
+    if (input[0] != 'T' || input[1] != '*') { return 1; }
+    var hdr = alloc(7); // w h bits comp predictor strip_off strip_count
+    hdr[2] = 8;
+    hdr[4] = 1;
+    var count = input[2];
+    var pos = 3;
+    var i = 0;
+    while (i < count && pos + 2 <= len(input)) {
+        var tag = input[pos];
+        var val = input[pos + 1];
+        pos = pos + 2;
+        if (tag == 1) { hdr[0] = val; }
+        else if (tag == 2) { hdr[1] = val; }
+        else if (tag == 3) { hdr[2] = val; }
+        else if (tag == 4) { set_compression(hdr, val); }
+        else if (tag == 5) { hdr[4] = val; }
+        else if (tag == 6) { hdr[5] = val; }
+        else if (tag == 7) { hdr[6] = val; }
+        else if (tag == 8) { process_strips(input, hdr); }
+        i = i + 1;
+    }
+    return i;
+}
+`
+
+func init() {
+	register(&Subject{
+		Name:      "tiffsplit",
+		TypeLabel: "C",
+		Source:    tiffsplitSrc,
+		Seeds: [][]byte{
+			{'T', '*', 5, 1, 2, 2, 2, 3, 8, 7, 4, 8, 0, 10, 20, 30, 40},
+			{'T', '*', 3, 1, 1, 2, 1, 8, 0},
+		},
+		Bugs: []Bug{
+			{
+				ID: "tf-2-rows-alloc",
+				// w=255 h=255 bits=255: 255^3 > allocator cap.
+				Witness:  []byte{'T', '*', 4, 1, 255, 2, 255, 3, 255, 8, 0},
+				WantKind: vm.KindBadAlloc,
+				WantFunc: "process_strips",
+				Comment:  "row buffer allocation w*h*bits is unchecked",
+			},
+			{
+				ID: "tf-4-strip-oob",
+				// strip_off 200 with 1 strip byte reads input[200].
+				Witness:  []byte{'T', '*', 5, 1, 1, 2, 1, 6, 200, 7, 1, 8, 0},
+				WantKind: vm.KindOOBRead,
+				WantFunc: "process_strips",
+				Comment:  "strip offset tag points past the input",
+			},
+			{
+				ID: "tf-3-predictor-oob",
+				// predictor tag 9, then LZW compression (keeps it), then
+				// process.
+				Witness:       []byte{'T', '*', 5, 1, 1, 2, 1, 5, 9, 4, 5, 8, 0},
+				WantKind:      vm.KindOOBRead,
+				WantFunc:      "process_strips",
+				PathDependent: true,
+				Comment: "every compression path resets the predictor except LZW; a raw " +
+					"predictor of 9 indexes the 4-entry stride table",
+			},
+			{
+				ID: "tf-5-stride-div",
+				// predictor 0: ptab[0] = 0 -> chunks division by zero.
+				Witness:       []byte{'T', '*', 5, 1, 1, 2, 1, 5, 0, 4, 5, 8, 0},
+				WantKind:      vm.KindDivByZero,
+				WantFunc:      "process_strips",
+				PathDependent: true,
+				Comment: "predictor 0 survives only the LZW path and selects the zero " +
+					"stride table entry",
+			},
+		},
+	})
+}

@@ -1,0 +1,165 @@
+// Package triage implements the crash- and bug-deduplication machinery
+// the paper's evaluation rests on, plus the set algebra behind its
+// tables: unique crashes via stack-trace hashing (top 5 frames), unique
+// bugs via ground-truth crash sites (standing in for the paper's manual
+// root-cause analysis), and pairwise set intersections/subtractions.
+package triage
+
+import (
+	"sort"
+
+	"repro/internal/fuzz"
+)
+
+// Set is a generic finite set with the operations the tables need.
+type Set[T comparable] map[T]struct{}
+
+// NewSet builds a set from items.
+func NewSet[T comparable](items ...T) Set[T] {
+	s := make(Set[T], len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts an item.
+func (s Set[T]) Add(item T) { s[item] = struct{}{} }
+
+// Has reports membership.
+func (s Set[T]) Has(item T) bool {
+	_, ok := s[item]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s Set[T]) Len() int { return len(s) }
+
+// Union returns a ∪ b.
+func Union[T comparable](a, b Set[T]) Set[T] {
+	out := make(Set[T], len(a)+len(b))
+	for k := range a {
+		out[k] = struct{}{}
+	}
+	for k := range b {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns a ∩ b.
+func Intersect[T comparable](a, b Set[T]) Set[T] {
+	out := make(Set[T])
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Subtract returns a \ b.
+func Subtract[T comparable](a, b Set[T]) Set[T] {
+	out := make(Set[T])
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// UnionAll folds many sets.
+func UnionAll[T comparable](sets ...Set[T]) Set[T] {
+	out := make(Set[T])
+	for _, s := range sets {
+		for k := range s {
+			out[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// BugSet extracts the ground-truth unique bug identities from a report.
+func BugSet(r *fuzz.Report) Set[string] {
+	out := make(Set[string], len(r.Bugs))
+	for k := range r.Bugs {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// CrashSet extracts the stack-hash unique crash identities from a
+// report.
+func CrashSet(r *fuzz.Report) Set[uint64] {
+	out := make(Set[uint64], len(r.Crashes))
+	for _, rec := range r.Crashes {
+		out[rec.Crash.StackHash(5)] = struct{}{}
+	}
+	return out
+}
+
+// Sorted returns the set's elements in sorted order (for deterministic
+// rendering).
+func Sorted[T interface {
+	comparable
+	~string | ~uint64 | ~int
+}](s Set[T]) []T {
+	out := make([]T, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VennCounts describes the three-region decomposition of two sets, as
+// rendered in the paper's Figure 3.
+type VennCounts struct {
+	OnlyA  int
+	Common int
+	OnlyB  int
+}
+
+// Venn computes the two-set decomposition.
+func Venn[T comparable](a, b Set[T]) VennCounts {
+	return VennCounts{
+		OnlyA:  Subtract(a, b).Len(),
+		Common: Intersect(a, b).Len(),
+		OnlyB:  Subtract(b, a).Len(),
+	}
+}
+
+// Venn3Counts decomposes three sets into the seven Venn regions.
+type Venn3Counts struct {
+	OnlyA, OnlyB, OnlyC    int
+	AB, AC, BC             int // pairwise-only intersections
+	ABC                    int
+	TotalA, TotalB, TotalC int
+}
+
+// Venn3 computes the three-set decomposition.
+func Venn3[T comparable](a, b, c Set[T]) Venn3Counts {
+	var v Venn3Counts
+	v.TotalA, v.TotalB, v.TotalC = a.Len(), b.Len(), c.Len()
+	for k := range UnionAll(a, b, c) {
+		inA, inB, inC := a.Has(k), b.Has(k), c.Has(k)
+		switch {
+		case inA && inB && inC:
+			v.ABC++
+		case inA && inB:
+			v.AB++
+		case inA && inC:
+			v.AC++
+		case inB && inC:
+			v.BC++
+		case inA:
+			v.OnlyA++
+		case inB:
+			v.OnlyB++
+		default:
+			v.OnlyC++
+		}
+	}
+	return v
+}

@@ -1,0 +1,99 @@
+package triage_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/triage"
+)
+
+func TestSetOps(t *testing.T) {
+	a := triage.NewSet("x", "y", "z")
+	b := triage.NewSet("y", "z", "w")
+	if got := triage.Intersect(a, b).Len(); got != 2 {
+		t.Errorf("intersect = %d", got)
+	}
+	if got := triage.Subtract(a, b).Len(); got != 1 {
+		t.Errorf("a\\b = %d", got)
+	}
+	if got := triage.Subtract(b, a).Len(); got != 1 {
+		t.Errorf("b\\a = %d", got)
+	}
+	if got := triage.Union(a, b).Len(); got != 4 {
+		t.Errorf("union = %d", got)
+	}
+	if got := triage.UnionAll(a, b, triage.NewSet("q")).Len(); got != 5 {
+		t.Errorf("unionAll = %d", got)
+	}
+	if !a.Has("x") || a.Has("w") {
+		t.Error("Has wrong")
+	}
+	a.Add("w")
+	if !a.Has("w") {
+		t.Error("Add failed")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	s := triage.NewSet("b", "a", "c")
+	got := triage.Sorted(s)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sorted = %v", got)
+	}
+}
+
+func TestVenn(t *testing.T) {
+	a := triage.NewSet(1, 2, 3, 4)
+	b := triage.NewSet(3, 4, 5)
+	v := triage.Venn(a, b)
+	if v.OnlyA != 2 || v.Common != 2 || v.OnlyB != 1 {
+		t.Errorf("venn = %+v", v)
+	}
+}
+
+func TestVenn3(t *testing.T) {
+	a := triage.NewSet("a", "ab", "ac", "abc")
+	b := triage.NewSet("b", "ab", "bc", "abc")
+	c := triage.NewSet("c", "ac", "bc", "abc")
+	v := triage.Venn3(a, b, c)
+	if v.OnlyA != 1 || v.OnlyB != 1 || v.OnlyC != 1 {
+		t.Errorf("onlies: %+v", v)
+	}
+	if v.AB != 1 || v.AC != 1 || v.BC != 1 || v.ABC != 1 {
+		t.Errorf("intersections: %+v", v)
+	}
+	if v.TotalA != 4 || v.TotalB != 4 || v.TotalC != 4 {
+		t.Errorf("totals: %+v", v)
+	}
+}
+
+// TestSetAlgebraProperties checks the identities the tables rely on:
+// |A| = |A∩B| + |A\B| and the Venn regions partition the union.
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(xs []uint8) triage.Set[uint8] {
+		s := triage.NewSet[uint8]()
+		for _, x := range xs {
+			s.Add(x % 32)
+		}
+		return s
+	}
+	err := quick.Check(func(xa, xb []uint8) bool {
+		a, b := mk(xa), mk(xb)
+		if a.Len() != triage.Intersect(a, b).Len()+triage.Subtract(a, b).Len() {
+			return false
+		}
+		v := triage.Venn(a, b)
+		return v.OnlyA+v.Common+v.OnlyB == triage.Union(a, b).Len()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+	err = quick.Check(func(xa, xb, xc []uint8) bool {
+		a, b, c := mk(xa), mk(xb), mk(xc)
+		v := triage.Venn3(a, b, c)
+		return v.OnlyA+v.OnlyB+v.OnlyC+v.AB+v.AC+v.BC+v.ABC == triage.UnionAll(a, b, c).Len()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// CrashKind classifies sanitizer-detected faults, the analogue of the
+// ASAN/UBSAN report types in the paper's evaluation.
+type CrashKind int
+
+// Crash kinds.
+const (
+	KindOOBRead CrashKind = iota
+	KindOOBWrite
+	KindNullDeref
+	KindWildPointer
+	KindDivByZero
+	KindBadAlloc
+	KindOOM
+	KindAssertFail
+	KindAbort
+	KindStackOverflow
+	// KindTimeout is internal: it propagates step-budget exhaustion and
+	// is reported as StatusTimeout, not as a crash.
+	KindTimeout
+)
+
+var crashKindNames = map[CrashKind]string{
+	KindOOBRead:       "heap-out-of-bounds-read",
+	KindOOBWrite:      "heap-out-of-bounds-write",
+	KindNullDeref:     "null-dereference",
+	KindWildPointer:   "wild-pointer",
+	KindDivByZero:     "division-by-zero",
+	KindBadAlloc:      "bad-allocation",
+	KindOOM:           "out-of-memory",
+	KindAssertFail:    "assertion-failure",
+	KindAbort:         "abort",
+	KindStackOverflow: "stack-overflow",
+	KindTimeout:       "timeout",
+}
+
+// String returns the sanitizer-style name of the crash kind.
+func (k CrashKind) String() string {
+	if s, ok := crashKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("crash-kind-%d", int(k))
+}
+
+// Frame is one entry of a crash call stack.
+type Frame struct {
+	Func string
+	Pos  lang.Pos
+}
+
+// Crash is a sanitizer report for one faulting execution.
+type Crash struct {
+	Kind CrashKind
+	// Msg carries fault details (index, bound, operands).
+	Msg string
+	// Func and Pos identify the faulting instruction.
+	Func string
+	Pos  lang.Pos
+	// Stack is the call stack, innermost frame first.
+	Stack []Frame
+}
+
+// BugKey returns the ground-truth bug identity: the faulting site and
+// fault kind. Two crashes with the same BugKey are manifestations of
+// the same planted bug — this plays the role of the paper's manual bug
+// deduplication.
+func (c *Crash) BugKey() string {
+	return fmt.Sprintf("%s:%d:%s", c.Func, c.Pos.Line, c.Kind)
+}
+
+// StackHash returns an FNV-1a hash of the top n stack frames
+// (function name and line), reproducing the paper's "unique crash"
+// clustering criterion (top 5 frames).
+func (c *Crash) StackHash(n int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(s string, line int) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= uint64(line)
+		h *= prime
+	}
+	mix(c.Kind.String(), 0)
+	for i, f := range c.Stack {
+		if i >= n {
+			break
+		}
+		mix(f.Func, f.Pos.Line)
+	}
+	return h
+}
+
+// String formats the crash like a compact sanitizer report.
+func (c *Crash) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %s:%s", c.Kind, c.Func, c.Pos)
+	if c.Msg != "" {
+		fmt.Fprintf(&b, " (%s)", c.Msg)
+	}
+	for _, f := range c.Stack {
+		fmt.Fprintf(&b, "\n  #%s %s", f.Pos, f.Func)
+	}
+	return b.String()
+}

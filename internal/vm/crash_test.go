@@ -1,0 +1,101 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+func TestCrashKindNames(t *testing.T) {
+	names := map[vm.CrashKind]string{
+		vm.KindOOBRead:       "heap-out-of-bounds-read",
+		vm.KindOOBWrite:      "heap-out-of-bounds-write",
+		vm.KindNullDeref:     "null-dereference",
+		vm.KindWildPointer:   "wild-pointer",
+		vm.KindDivByZero:     "division-by-zero",
+		vm.KindBadAlloc:      "bad-allocation",
+		vm.KindOOM:           "out-of-memory",
+		vm.KindAssertFail:    "assertion-failure",
+		vm.KindAbort:         "abort",
+		vm.KindStackOverflow: "stack-overflow",
+		vm.KindTimeout:       "timeout",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d: %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(vm.CrashKind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+func TestCrashRendering(t *testing.T) {
+	c := &vm.Crash{
+		Kind: vm.KindOOBWrite,
+		Msg:  "index 9 out of bounds for length 4",
+		Func: "inner",
+		Pos:  lang.Pos{Line: 12, Col: 5},
+		Stack: []vm.Frame{
+			{Func: "inner", Pos: lang.Pos{Line: 12, Col: 5}},
+			{Func: "main", Pos: lang.Pos{Line: 30, Col: 9}},
+		},
+	}
+	s := c.String()
+	for _, want := range []string{"heap-out-of-bounds-write", "inner", "12:5", "main", "30:9", "index 9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered crash missing %q:\n%s", want, s)
+		}
+	}
+	if c.BugKey() != "inner:12:heap-out-of-bounds-write" {
+		t.Errorf("BugKey = %s", c.BugKey())
+	}
+}
+
+func TestStackHashProperties(t *testing.T) {
+	mk := func(fn string, line int, kind vm.CrashKind) *vm.Crash {
+		return &vm.Crash{
+			Kind: kind,
+			Func: fn,
+			Pos:  lang.Pos{Line: line, Col: 1},
+			Stack: []vm.Frame{
+				{Func: fn, Pos: lang.Pos{Line: line, Col: 1}},
+				{Func: "main", Pos: lang.Pos{Line: 99, Col: 1}},
+			},
+		}
+	}
+	a := mk("f", 10, vm.KindAbort)
+	b := mk("f", 10, vm.KindAbort)
+	if a.StackHash(5) != b.StackHash(5) {
+		t.Error("identical crashes hash differently")
+	}
+	if a.StackHash(5) == mk("g", 10, vm.KindAbort).StackHash(5) {
+		t.Error("different functions collide")
+	}
+	if a.StackHash(5) == mk("f", 11, vm.KindAbort).StackHash(5) {
+		t.Error("different lines collide")
+	}
+	if a.StackHash(5) == mk("f", 10, vm.KindOOBRead).StackHash(5) {
+		t.Error("different kinds collide")
+	}
+	// Frames beyond the prefix do not matter (top-5 clustering).
+	deep := mk("f", 10, vm.KindAbort)
+	for i := 0; i < 10; i++ {
+		deep.Stack = append(deep.Stack, vm.Frame{Func: "filler", Pos: lang.Pos{Line: i}})
+	}
+	short := mk("f", 10, vm.KindAbort)
+	for i := 0; i < 10; i++ {
+		short.Stack = append(short.Stack, vm.Frame{Func: "other", Pos: lang.Pos{Line: 50 + i}})
+	}
+	if deep.StackHash(2) != short.StackHash(2) {
+		t.Error("frames beyond the prefix leaked into the hash")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if vm.StatusOK.String() != "ok" || vm.StatusCrash.String() != "crash" || vm.StatusTimeout.String() != "timeout" {
+		t.Error("status names wrong")
+	}
+}

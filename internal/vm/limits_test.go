@@ -1,0 +1,101 @@
+package vm_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/vm"
+)
+
+// TestCustomLimits exercises each Limits knob independently.
+func TestCustomLimits(t *testing.T) {
+	p, err := cfg.Compile(`
+func spin(n) {
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+func deep(n) {
+    if (n == 0) { return 0; }
+    return deep(n - 1);
+}
+func main(input) {
+    if (len(input) < 1) { return 0; }
+    if (input[0] == 1) { return spin(100000); }
+    if (input[0] == 2) { return deep(40); }
+    if (input[0] == 3) { var a = alloc(5000); return len(a); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tight := vm.DefaultLimits()
+	tight.MaxSteps = 1000
+	if res := vm.Run(p, "main", []byte{1}, vm.NullTracer{}, tight); res.Status != vm.StatusTimeout {
+		t.Errorf("step limit: %v", res.Status)
+	}
+
+	shallow := vm.DefaultLimits()
+	shallow.MaxDepth = 10
+	if res := vm.Run(p, "main", []byte{2}, vm.NullTracer{}, shallow); res.Status != vm.StatusCrash || res.Crash.Kind != vm.KindStackOverflow {
+		t.Errorf("depth limit: %v", res.Status)
+	}
+	roomy := vm.DefaultLimits()
+	roomy.MaxDepth = 100
+	if res := vm.Run(p, "main", []byte{2}, vm.NullTracer{}, roomy); res.Status != vm.StatusOK {
+		t.Errorf("depth 40 under limit 100: %v %v", res.Status, res.Crash)
+	}
+
+	smallAlloc := vm.DefaultLimits()
+	smallAlloc.MaxAlloc = 1024
+	if res := vm.Run(p, "main", []byte{3}, vm.NullTracer{}, smallAlloc); res.Status != vm.StatusCrash || res.Crash.Kind != vm.KindBadAlloc {
+		t.Errorf("alloc cap: %v", res.Status)
+	}
+
+	smallHeap := vm.DefaultLimits()
+	smallHeap.MaxHeapCells = 4096
+	if res := vm.Run(p, "main", []byte{3}, vm.NullTracer{}, smallHeap); res.Status != vm.StatusCrash || res.Crash.Kind != vm.KindOOM {
+		t.Errorf("heap cap: %v", res.Status)
+	}
+}
+
+// TestCmpObsCap: comparison capture respects MaxCmpObs.
+func TestCmpObsCap(t *testing.T) {
+	p, err := cfg.Compile(`
+func main(input) {
+    var s = 0;
+    for (var i = 0; i < 100; i = i + 1) {
+        if (i == 55) { s = s + 1; }
+    }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := vm.DefaultLimits()
+	lim.MaxCmpObs = 10
+	res := vm.Run(p, "main", nil, vm.NullTracer{}, lim)
+	if len(res.Cmps) > 10 {
+		t.Errorf("captured %d comparisons, cap 10", len(res.Cmps))
+	}
+	if len(res.Cmps) == 0 {
+		t.Error("no comparisons captured")
+	}
+}
+
+// TestOutputCap: the out() log is bounded.
+func TestOutputCap(t *testing.T) {
+	p, err := cfg.Compile(`
+func main(input) {
+    for (var i = 0; i < 10000; i = i + 1) { out(i); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := vm.Run(p, "main", nil, vm.NullTracer{}, vm.DefaultLimits())
+	if len(res.Output) > 4096 {
+		t.Errorf("output log grew to %d entries", len(res.Output))
+	}
+}

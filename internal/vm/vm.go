@@ -1,0 +1,470 @@
+// Package vm executes lowered MiniC programs under a memory sanitizer,
+// reporting coverage events to a pluggable Tracer. It plays the role of
+// the natively executed, ASAN-instrumented program under test in the
+// paper's evaluation: deterministic, crash-reporting, and observable
+// through exactly the hooks the instrumentation layer needs (function
+// entry, edge traversal, return).
+package vm
+
+import (
+	"math"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+// Tracer observes one execution. Implementations translate these events
+// into coverage map updates; see package instrument.
+type Tracer interface {
+	// Begin is called once before the entry function starts.
+	Begin()
+	// EnterFunc is called when a frame for f is pushed.
+	EnterFunc(f *cfg.Func)
+	// Edge is called when CFG edge f.Edges[edge] is traversed.
+	Edge(f *cfg.Func, edge int)
+	// Ret is called when f returns from block b (before the frame pops).
+	Ret(f *cfg.Func, b int)
+}
+
+// NullTracer ignores all events (uninstrumented execution).
+type NullTracer struct{}
+
+// Begin implements Tracer.
+func (NullTracer) Begin() {}
+
+// EnterFunc implements Tracer.
+func (NullTracer) EnterFunc(*cfg.Func) {}
+
+// Edge implements Tracer.
+func (NullTracer) Edge(*cfg.Func, int) {}
+
+// Ret implements Tracer.
+func (NullTracer) Ret(*cfg.Func, int) {}
+
+// Limits bounds one execution.
+type Limits struct {
+	// MaxSteps is the instruction budget (the timeout analogue).
+	MaxSteps int64
+	// MaxDepth is the call-depth budget; exceeding it is a
+	// stack-overflow crash, as it would be natively.
+	MaxDepth int
+	// MaxHeapCells caps total live array cells; exceeding it is an OOM
+	// crash.
+	MaxHeapCells int64
+	// MaxAlloc caps a single allocation; larger requests are
+	// bad-allocation crashes.
+	MaxAlloc int64
+	// MaxCmpObs caps recorded comparison observations per execution
+	// (the cmplog-lite channel).
+	MaxCmpObs int
+}
+
+// DefaultLimits returns the limits used across the evaluation. The
+// call-depth budget is deliberately modest: recursion bugs must sit
+// within reach of the hit-count bucket gradient (buckets saturate at
+// 128), the same reason native fuzzing setups shrink stack ulimits so
+// runaway recursion faults promptly.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxSteps:     1 << 20,
+		MaxDepth:     64,
+		MaxHeapCells: 1 << 22,
+		MaxAlloc:     1 << 20,
+		MaxCmpObs:    64,
+	}
+}
+
+// Status is the outcome of one execution.
+type Status int
+
+// Execution outcomes.
+const (
+	StatusOK Status = iota
+	StatusCrash
+	StatusTimeout
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCrash:
+		return "crash"
+	case StatusTimeout:
+		return "timeout"
+	}
+	return "unknown"
+}
+
+// CmpObs is one observed comparison (the cmplog-lite analogue of
+// AFL++'s input-to-state correspondence channel).
+type CmpObs struct {
+	A, B  int64
+	Op    lang.Kind
+	Taken bool
+}
+
+// Result summarises one execution.
+type Result struct {
+	Status Status
+	Ret    int64
+	Crash  *Crash
+	Steps  int64
+	Output []int64
+	Cmps   []CmpObs
+}
+
+type frameInfo struct {
+	fn      *cfg.Func
+	callPos lang.Pos
+}
+
+type exec struct {
+	prog   *cfg.Program
+	tr     Tracer
+	lim    Limits
+	heap   [][]int64
+	cells  int64
+	steps  int64
+	output []int64
+	cmps   []CmpObs
+	frames []frameInfo
+}
+
+// Run executes prog starting at the named entry function. If the entry
+// takes parameters, the first receives a handle to an array holding the
+// input bytes and any further parameters receive 0.
+func Run(prog *cfg.Program, entry string, input []byte, tr Tracer, lim Limits) Result {
+	f := prog.Func(entry)
+	if f == nil {
+		return Result{Status: StatusCrash, Crash: &Crash{Kind: KindAbort, Msg: "no entry function " + entry, Func: entry}}
+	}
+	if tr == nil {
+		tr = NullTracer{}
+	}
+	x := &exec{prog: prog, tr: tr, lim: lim}
+	args := make([]int64, f.NParams)
+	if f.NParams > 0 {
+		in := make([]int64, len(input))
+		for i, b := range input {
+			in[i] = int64(b)
+		}
+		args[0] = x.newArray(in)
+	}
+	tr.Begin()
+	ret, crash := x.call(f, args, f.Pos)
+	res := Result{Ret: ret, Steps: x.steps, Output: x.output, Cmps: x.cmps}
+	switch {
+	case crash == nil:
+		res.Status = StatusOK
+	case crash.Kind == KindTimeout:
+		res.Status = StatusTimeout
+	default:
+		res.Status = StatusCrash
+		res.Crash = crash
+	}
+	return res
+}
+
+func (x *exec) newArray(cells []int64) int64 {
+	x.heap = append(x.heap, cells)
+	x.cells += int64(len(cells))
+	return int64(len(x.heap))
+}
+
+// crash builds a report with the current call stack.
+func (x *exec) crash(kind CrashKind, pos lang.Pos, msg string) *Crash {
+	c := &Crash{Kind: kind, Msg: msg, Pos: pos}
+	if n := len(x.frames); n > 0 {
+		c.Func = x.frames[n-1].fn.Name
+		c.Stack = append(c.Stack, Frame{Func: c.Func, Pos: pos})
+		for i := n - 2; i >= 0; i-- {
+			c.Stack = append(c.Stack, Frame{Func: x.frames[i].fn.Name, Pos: x.frames[i+1].callPos})
+		}
+	}
+	return c
+}
+
+func (x *exec) arrayAt(h int64, pos lang.Pos, write bool) ([]int64, *Crash) {
+	if h == 0 {
+		return nil, x.crash(KindNullDeref, pos, "null array handle")
+	}
+	if h < 0 || h > int64(len(x.heap)) {
+		return nil, x.crash(KindWildPointer, pos, "invalid array handle")
+	}
+	return x.heap[h-1], nil
+}
+
+func (x *exec) call(f *cfg.Func, args []int64, callPos lang.Pos) (int64, *Crash) {
+	if len(x.frames) >= x.lim.MaxDepth {
+		return 0, x.crash(KindStackOverflow, callPos, "call depth limit exceeded")
+	}
+	x.frames = append(x.frames, frameInfo{fn: f, callPos: callPos})
+	defer func() { x.frames = x.frames[:len(x.frames)-1] }()
+	x.tr.EnterFunc(f)
+
+	slots := make([]int64, f.FrameSize)
+	copy(slots, args)
+
+	b := f.Entry()
+	for {
+		blk := &f.Blocks[b]
+		for i := range blk.Instrs {
+			if crash := x.instr(f, &blk.Instrs[i], slots); crash != nil {
+				return 0, crash
+			}
+		}
+		x.steps++
+		if x.steps > x.lim.MaxSteps {
+			return 0, x.crash(KindTimeout, blk.Term.Pos, "step budget exhausted")
+		}
+		switch blk.Term.Kind {
+		case TermJmpAlias:
+			x.tr.Edge(f, blk.EdgeThen)
+			b = blk.Term.Then
+		case TermBrAlias:
+			if slots[blk.Term.Cond] != 0 {
+				x.tr.Edge(f, blk.EdgeThen)
+				b = blk.Term.Then
+			} else {
+				x.tr.Edge(f, blk.EdgeElse)
+				b = blk.Term.Else
+			}
+		case TermRetAlias:
+			x.tr.Ret(f, b)
+			if blk.Term.Val < 0 {
+				return 0, nil
+			}
+			return slots[blk.Term.Val], nil
+		}
+	}
+}
+
+// Terminator kind aliases keep the switch above readable without
+// importing the cfg constants at each use.
+const (
+	TermJmpAlias = cfg.TermJmp
+	TermBrAlias  = cfg.TermBr
+	TermRetAlias = cfg.TermRet
+)
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (x *exec) instr(f *cfg.Func, in *cfg.Instr, slots []int64) *Crash {
+	x.steps++
+	if x.steps > x.lim.MaxSteps {
+		return x.crash(KindTimeout, in.Pos, "step budget exhausted")
+	}
+	switch in.Op {
+	case cfg.OpConst:
+		slots[in.Dst] = in.Imm
+	case cfg.OpStr:
+		cells := make([]int64, len(in.Str))
+		for i := 0; i < len(in.Str); i++ {
+			cells[i] = int64(in.Str[i])
+		}
+		if x.cells+int64(len(cells)) > x.lim.MaxHeapCells {
+			return x.crash(KindOOM, in.Pos, "heap limit exceeded")
+		}
+		slots[in.Dst] = x.newArray(cells)
+	case cfg.OpMove:
+		slots[in.Dst] = slots[in.A]
+	case cfg.OpBin:
+		v, crash := x.binop(in, slots[in.A], slots[in.B])
+		if crash != nil {
+			return crash
+		}
+		slots[in.Dst] = v
+	case cfg.OpUn:
+		a := slots[in.A]
+		switch in.Sub {
+		case lang.MINUS:
+			slots[in.Dst] = -a
+		case lang.NOT:
+			slots[in.Dst] = boolToInt(a == 0)
+		case lang.TILDE:
+			slots[in.Dst] = ^a
+		}
+	case cfg.OpLoad:
+		arr, crash := x.arrayAt(slots[in.A], in.Pos, false)
+		if crash != nil {
+			return crash
+		}
+		idx := slots[in.B]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return x.crash(KindOOBRead, in.Pos, oobMsg(idx, len(arr)))
+		}
+		slots[in.Dst] = arr[idx]
+	case cfg.OpStore:
+		arr, crash := x.arrayAt(slots[in.A], in.Pos, true)
+		if crash != nil {
+			return crash
+		}
+		idx := slots[in.B]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return x.crash(KindOOBWrite, in.Pos, oobMsg(idx, len(arr)))
+		}
+		arr[idx] = slots[in.C]
+	case cfg.OpCall:
+		callee := x.prog.Funcs[in.Callee]
+		args := make([]int64, callee.NParams)
+		for i := range in.Args {
+			if i < len(args) {
+				args[i] = slots[in.Args[i]]
+			}
+		}
+		v, crash := x.call(callee, args, in.Pos)
+		if crash != nil {
+			return crash
+		}
+		slots[in.Dst] = v
+	case cfg.OpBuiltin:
+		return x.builtin(in, slots)
+	}
+	return nil
+}
+
+func oobMsg(idx int64, n int) string {
+	return "index " + itoa(idx) + " out of bounds for length " + itoa(int64(n))
+}
+
+// itoa is a minimal int64 formatter; strconv would be fine but this
+// keeps the hot path allocation-free for the common small values.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [21]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func (x *exec) binop(in *cfg.Instr, a, b int64) (int64, *Crash) {
+	switch in.Sub {
+	case lang.PLUS:
+		return a + b, nil
+	case lang.MINUS:
+		return a - b, nil
+	case lang.STAR:
+		return a * b, nil
+	case lang.SLASH:
+		if b == 0 {
+			return 0, x.crash(KindDivByZero, in.Pos, "division by zero")
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0, x.crash(KindDivByZero, in.Pos, "integer division overflow")
+		}
+		return a / b, nil
+	case lang.PCT:
+		if b == 0 {
+			return 0, x.crash(KindDivByZero, in.Pos, "modulo by zero")
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0, x.crash(KindDivByZero, in.Pos, "integer modulo overflow")
+		}
+		return a % b, nil
+	case lang.AMP:
+		return a & b, nil
+	case lang.PIPE:
+		return a | b, nil
+	case lang.CARET:
+		return a ^ b, nil
+	case lang.SHL:
+		return a << (uint64(b) & 63), nil
+	case lang.SHR:
+		return a >> (uint64(b) & 63), nil
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		var r bool
+		switch in.Sub {
+		case lang.EQ:
+			r = a == b
+		case lang.NE:
+			r = a != b
+		case lang.LT:
+			r = a < b
+		case lang.LE:
+			r = a <= b
+		case lang.GT:
+			r = a > b
+		case lang.GE:
+			r = a >= b
+		}
+		if len(x.cmps) < x.lim.MaxCmpObs {
+			x.cmps = append(x.cmps, CmpObs{A: a, B: b, Op: in.Sub, Taken: r})
+		}
+		return boolToInt(r), nil
+	}
+	return 0, x.crash(KindAbort, in.Pos, "unknown binary operator")
+}
+
+func (x *exec) builtin(in *cfg.Instr, slots []int64) *Crash {
+	arg := func(i int) int64 { return slots[in.Args[i]] }
+	switch in.Callee {
+	case cfg.BLen:
+		arr, crash := x.arrayAt(arg(0), in.Pos, false)
+		if crash != nil {
+			return crash
+		}
+		slots[in.Dst] = int64(len(arr))
+	case cfg.BAlloc:
+		n := arg(0)
+		if n < 0 || n > x.lim.MaxAlloc {
+			return x.crash(KindBadAlloc, in.Pos, "allocation of "+itoa(n)+" cells")
+		}
+		if x.cells+n > x.lim.MaxHeapCells {
+			return x.crash(KindOOM, in.Pos, "heap limit exceeded")
+		}
+		slots[in.Dst] = x.newArray(make([]int64, n))
+	case cfg.BAssert:
+		if arg(0) == 0 {
+			return x.crash(KindAssertFail, in.Pos, "assertion failed")
+		}
+		slots[in.Dst] = 0
+	case cfg.BAbort:
+		return x.crash(KindAbort, in.Pos, "abort called")
+	case cfg.BAbs:
+		v := arg(0)
+		if v < 0 {
+			v = -v
+		}
+		slots[in.Dst] = v
+	case cfg.BMin:
+		a, b := arg(0), arg(1)
+		if b < a {
+			a = b
+		}
+		slots[in.Dst] = a
+	case cfg.BMax:
+		a, b := arg(0), arg(1)
+		if b > a {
+			a = b
+		}
+		slots[in.Dst] = a
+	case cfg.BOut:
+		if len(x.output) < 4096 {
+			x.output = append(x.output, arg(0))
+		}
+		slots[in.Dst] = 0
+	}
+	return nil
+}

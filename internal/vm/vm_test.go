@@ -1,0 +1,291 @@
+package vm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/langgen"
+	"repro/internal/vm"
+)
+
+func run(t testing.TB, src string, input []byte) vm.Result {
+	t.Helper()
+	p, err := cfg.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return vm.Run(p, "main", input, vm.NullTracer{}, vm.DefaultLimits())
+}
+
+func expectRet(t *testing.T, src string, input []byte, want int64) {
+	t.Helper()
+	res := run(t, src, input)
+	if res.Status != vm.StatusOK {
+		t.Fatalf("status %v (crash: %v)", res.Status, res.Crash)
+	}
+	if res.Ret != want {
+		t.Errorf("ret = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"-7 / 2", -3}, // Go/C truncating division
+		{"-7 % 2", -1},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"~0", -1},
+		{"-(5)", -5},
+		{"!0", 1},
+		{"!7", 0},
+		{"3 < 4", 1},
+		{"4 <= 4", 1},
+		{"5 > 6", 0},
+		{"5 >= 6", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 0", 0},
+		{"0 || 9", 1},
+		{"abs(-4)", 4},
+		{"min(3, 9)", 3},
+		{"max(3, 9)", 9},
+	}
+	for _, c := range cases {
+		expectRet(t, "func main(input) { return "+c.expr+"; }", nil, c.want)
+	}
+}
+
+func TestShortCircuitSkipsRHS(t *testing.T) {
+	// If && evaluated its RHS eagerly this would crash on an empty
+	// input.
+	expectRet(t, `func main(input) {
+        if (len(input) > 0 && input[0] == 'x') { return 1; }
+        return 0;
+    }`, nil, 0)
+	expectRet(t, `func main(input) {
+        if (len(input) == 0 || input[0] == 'x') { return 1; }
+        return 0;
+    }`, nil, 1)
+}
+
+func TestInputArrayAndStrings(t *testing.T) {
+	expectRet(t, `func main(input) { return input[0] + input[2]; }`, []byte{10, 0, 32}, 42)
+	expectRet(t, `func main(input) { var s = "AB"; return s[0] + s[1]; }`, nil, 'A'+'B')
+	expectRet(t, `func main(input) { return len("hello"); }`, nil, 5)
+	expectRet(t, `func main(input) { return len(input); }`, []byte("abc"), 3)
+}
+
+func TestArrays(t *testing.T) {
+	expectRet(t, `func main(input) {
+        var a = alloc(5);
+        a[0] = 7; a[4] = 9;
+        return a[0] + a[4] + a[2];
+    }`, nil, 16)
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	expectRet(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main(input) { return fib(12); }`, nil, 144)
+}
+
+func TestLoops(t *testing.T) {
+	expectRet(t, `func main(input) {
+        var s = 0;
+        for (var i = 1; i <= 10; i = i + 1) { s = s + i; }
+        return s;
+    }`, nil, 55)
+	expectRet(t, `func main(input) {
+        var s = 0;
+        var i = 0;
+        while (1) {
+            i = i + 1;
+            if (i == 4) { continue; }
+            if (i > 7) { break; }
+            s = s + i;
+        }
+        return s;
+    }`, nil, 1+2+3+5+6+7)
+}
+
+func TestOutput(t *testing.T) {
+	res := run(t, `func main(input) { out(1); out(2); out(3); return 0; }`, nil)
+	if len(res.Output) != 3 || res.Output[0] != 1 || res.Output[2] != 3 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func expectCrash(t *testing.T, src string, input []byte, kind vm.CrashKind) *vm.Crash {
+	t.Helper()
+	res := run(t, src, input)
+	if res.Status != vm.StatusCrash {
+		t.Fatalf("status %v, want crash %v", res.Status, kind)
+	}
+	if res.Crash.Kind != kind {
+		t.Fatalf("crash kind %v, want %v (%s)", res.Crash.Kind, kind, res.Crash)
+	}
+	return res.Crash
+}
+
+func TestSanitizerKinds(t *testing.T) {
+	expectCrash(t, `func main(input) { var a = alloc(2); return a[2]; }`, nil, vm.KindOOBRead)
+	expectCrash(t, `func main(input) { var a = alloc(2); return a[-1]; }`, nil, vm.KindOOBRead)
+	expectCrash(t, `func main(input) { var a = alloc(2); a[5] = 1; return 0; }`, nil, vm.KindOOBWrite)
+	expectCrash(t, `func main(input) { var a = 0; return a[0]; }`, nil, vm.KindNullDeref)
+	expectCrash(t, `func main(input) { var a = 99; return a[0]; }`, nil, vm.KindWildPointer)
+	expectCrash(t, `func main(input) { return 1 / (len(input) - len(input)); }`, nil, vm.KindDivByZero)
+	expectCrash(t, `func main(input) { return 1 % (len(input) - len(input)); }`, nil, vm.KindDivByZero)
+	expectCrash(t, `func main(input) { var x = 0 - 9223372036854775807 - 1; return x / -1; }`, nil, vm.KindDivByZero)
+	expectCrash(t, `func main(input) { var a = alloc(-1); return 0; }`, nil, vm.KindBadAlloc)
+	expectCrash(t, `func main(input) { var a = alloc(99999999); return 0; }`, nil, vm.KindBadAlloc)
+	expectCrash(t, `func main(input) { assert(len(input) == 99); return 0; }`, nil, vm.KindAssertFail)
+	expectCrash(t, `func main(input) { abort(); return 0; }`, nil, vm.KindAbort)
+	expectCrash(t, `func f(n) { return f(n + 1); } func main(input) { return f(0); }`, nil, vm.KindStackOverflow)
+	expectCrash(t, `func main(input) { return len(0); }`, nil, vm.KindNullDeref)
+}
+
+func TestOOMCrash(t *testing.T) {
+	// Repeated allocations exceed the heap cap before the step budget.
+	expectCrash(t, `func main(input) {
+        var i = 0;
+        while (1) {
+            var a = alloc(1000000);
+            i = i + 1;
+        }
+        return i;
+    }`, nil, vm.KindOOM)
+}
+
+func TestTimeout(t *testing.T) {
+	res := run(t, `func main(input) { while (1) { } return 0; }`, nil)
+	if res.Status != vm.StatusTimeout {
+		t.Fatalf("status %v, want timeout", res.Status)
+	}
+	if res.Crash != nil {
+		t.Error("timeout must not be reported as a crash")
+	}
+}
+
+func TestCrashReportDetails(t *testing.T) {
+	c := expectCrash(t, `
+func inner(a) { a[9] = 1; return 0; }
+func outer(a) { return inner(a); }
+func main(input) {
+    var a = alloc(2);
+    return outer(a);
+}`, nil, vm.KindOOBWrite)
+	if c.Func != "inner" {
+		t.Errorf("crash func = %q", c.Func)
+	}
+	if len(c.Stack) != 3 {
+		t.Fatalf("stack depth = %d, want 3: %s", len(c.Stack), c)
+	}
+	if c.Stack[0].Func != "inner" || c.Stack[1].Func != "outer" || c.Stack[2].Func != "main" {
+		t.Errorf("stack order wrong: %s", c)
+	}
+	if c.BugKey() == "" || c.StackHash(5) == 0 {
+		t.Error("identity helpers empty")
+	}
+	// Stack hash depends on depth prefix.
+	if c.StackHash(1) == c.StackHash(3) {
+		t.Error("stack hash ignores depth")
+	}
+}
+
+func TestCmpObservations(t *testing.T) {
+	res := run(t, `func main(input) {
+        if (len(input) == 7) { return 1; }
+        if (input[0] == 'Z') { return 2; }
+        return 0;
+    }`, []byte("ab"))
+	found := false
+	for _, c := range res.Cmps {
+		if (c.A == 2 && c.B == 7) || (c.A == 7 && c.B == 2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("len comparison not captured: %v", res.Cmps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `func main(input) {
+        var s = 0;
+        for (var i = 0; i < len(input); i = i + 1) {
+            s = s * 31 + input[i];
+        }
+        return s;
+    }`
+	a := run(t, src, []byte("determinism"))
+	b := run(t, src, []byte("determinism"))
+	if a.Ret != b.Ret || a.Steps != b.Steps {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", a.Ret, a.Steps, b.Ret, b.Steps)
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	p, err := cfg.Compile(`func f(a) { return a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := vm.Run(p, "main", nil, vm.NullTracer{}, vm.DefaultLimits())
+	if res.Status != vm.StatusCrash {
+		t.Error("missing entry should crash")
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Out-of-range and negative shift amounts are defined (masked to
+	// 0-63) rather than trapping.
+	expectRet(t, `func main(input) { return 1 << 64; }`, nil, 1)
+	expectRet(t, `func main(input) { return 1 << 65; }`, nil, 2)
+	expectRet(t, `func main(input) { return 16 >> (0 - 63); }`, nil, 8)
+}
+
+// TestRandomProgramsNeverCrashVM is the VM property test: generated
+// programs are crash-free by construction, so any sanitizer report or
+// non-OK status indicates a frontend or VM defect. Timeouts are also
+// forbidden (generated loops are bounded).
+func TestRandomProgramsNeverCrashVM(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := langgen.Generate(rng, langgen.Default())
+		p, err := cfg.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		input := make([]byte, rng.Intn(32))
+		rng.Read(input)
+		// Generated programs always terminate but nested bounded loops
+		// with helper calls can exceed the default fuzzing step budget;
+		// the property under test is crash-freedom, so give headroom.
+		lim := vm.DefaultLimits()
+		lim.MaxSteps = 1 << 26
+		res := vm.Run(p, "main", input, vm.NullTracer{}, lim)
+		if res.Status != vm.StatusOK {
+			t.Fatalf("seed %d: status %v crash=%v\n%s", seed, res.Status, res.Crash, src)
+		}
+		// And deterministically so.
+		res2 := vm.Run(p, "main", input, vm.NullTracer{}, lim)
+		if res.Ret != res2.Ret || res.Steps != res2.Steps {
+			t.Fatalf("seed %d: nondeterministic execution", seed)
+		}
+	}
+}
