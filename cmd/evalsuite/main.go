@@ -31,6 +31,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base seed")
 		quiet     = flag.Bool("quiet", false, "suppress per-campaign progress")
 		fig2Sub   = flag.String("fig2-subject", "lame", "subject for the Figure 2 series")
+		stateDir  = flag.String("state", "", "persist finished runs here; a restarted suite reloads them instead of recomputing")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		Budget:      *budget,
 		RoundBudget: *round,
 		BaseSeed:    *seed,
+		StateDir:    *stateDir,
 	}
 	if *subjectsF != "" {
 		cfg.Subjects = strings.Split(*subjectsF, ",")

@@ -5,19 +5,37 @@
 // Usage:
 //
 //	pafuzz -subject flvmeta -fuzzer cull -budget 200000
-//	pafuzz -src prog.mc -fuzzer path -seed-input seeds.txt
+//	pafuzz -src prog.mc -fuzzer path -i seeds/ -o state/
+//	pafuzz -resume -o state/
+//
+// With -o, single-phase configurations run as durable campaigns:
+// checkpoints land in <state>/checkpoints/, crashing inputs in
+// <state>/crashes/, and SIGINT/SIGTERM trigger a graceful shutdown
+// checkpoint. -resume continues an interrupted campaign and is
+// guaranteed to produce the same final report as an uninterrupted run.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
+	"syscall"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
 )
+
+// maxSeedFile bounds seed corpus files loaded via -i; larger files are
+// skipped with a warning rather than ballooning the campaign.
+const maxSeedFile = 64 << 10
 
 func main() {
 	var (
@@ -27,6 +45,10 @@ func main() {
 		budget      = flag.Int64("budget", 200000, "execution budget (the wall-clock analogue)")
 		roundBudget = flag.Int64("round", 0, "culling round budget (default budget/8)")
 		seed        = flag.Int64("seed", 1, "campaign RNG seed")
+		inDir       = flag.String("i", "", "seed corpus directory (one input per file)")
+		stateDir    = flag.String("o", "", "campaign state directory (enables checkpointing and crash saving)")
+		resume      = flag.Bool("resume", false, "resume the campaign checkpointed in -o")
+		ckptEvery   = flag.Int64("ckpt-every", 25000, "executions between periodic checkpoints")
 		list        = flag.Bool("list", false, "list benchmark subjects and exit")
 		showCrash   = flag.Bool("crashes", false, "print full reports for unique crashes")
 	)
@@ -39,9 +61,18 @@ func main() {
 		return
 	}
 
+	if *resume {
+		if *stateDir == "" {
+			fatalf("-resume requires -o <state dir>")
+		}
+		resumeCampaign(*stateDir, *ckptEvery, *showCrash)
+		return
+	}
+
 	var (
 		target *core.Target
 		seeds  [][]byte
+		meta   campaign.Meta
 		err    error
 	)
 	switch {
@@ -56,6 +87,7 @@ func main() {
 		}
 		target = core.FromProgram(prog)
 		seeds = sub.Seeds
+		meta.Subject = sub.Name
 	case *srcPath != "":
 		src, rerr := os.ReadFile(*srcPath)
 		if rerr != nil {
@@ -66,25 +98,193 @@ func main() {
 			fatalf("compile: %v", err)
 		}
 		seeds = [][]byte{[]byte("seed")}
+		sum := sha256.Sum256(src)
+		meta.Source = *srcPath
+		meta.SourceSum = hex.EncodeToString(sum[:])
 	default:
 		fatalf("one of -subject or -src is required (or -list)")
 	}
 
+	if *inDir != "" {
+		loaded := loadSeedDir(*inDir)
+		if len(loaded) == 0 {
+			warnf("seed dir %s yielded no usable inputs; keeping default seeds", *inDir)
+		} else {
+			seeds = loaded
+		}
+	}
+
+	meta.Fuzzer = *fuzzerName
+	meta.Seed = *seed
+	meta.Budget = *budget
+	meta.Entry = target.Entry
+
+	if *stateDir != "" {
+		if fb, profile, ok := strategy.SingleConfig(strategy.Name(*fuzzerName)); ok {
+			opts := fuzz.Options{
+				Feedback:        fb,
+				Profile:         profile,
+				Seed:            *seed,
+				Entry:           target.Entry,
+				KeepCrashInputs: true,
+			}
+			r := campaign.NewRunner(*stateDir, campaign.Config{Interval: *ckptEvery, Log: os.Stderr})
+			if err := r.Start(target.Prog, opts, meta, seeds); err != nil {
+				fatalf("%v", err)
+			}
+			runDurable(r, *stateDir, *fuzzerName, *showCrash)
+			return
+		}
+		for _, n := range strategy.AllNames {
+			if n == strategy.Name(*fuzzerName) {
+				warnf("configuration %q is round-based and not checkpointable; running non-durable, crashes still saved to %s", *fuzzerName, *stateDir)
+				break
+			}
+		}
+	}
+
 	out, err := target.Fuzz(core.Campaign{
-		Fuzzer:      strategy.Name(*fuzzerName),
-		Budget:      *budget,
-		RoundBudget: *roundBudget,
-		Seeds:       seeds,
-		Seed:        *seed,
+		Fuzzer:          strategy.Name(*fuzzerName),
+		Budget:          *budget,
+		RoundBudget:     *roundBudget,
+		Seeds:           seeds,
+		Seed:            *seed,
+		KeepCrashInputs: *stateDir != "",
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *stateDir != "" {
+		if err := campaign.WriteCrashInputs(campaign.OSFS{}, *stateDir, out.Report); err != nil {
+			warnf("saving crash inputs: %v", err)
+		}
+	}
+	printReport(*fuzzerName, out.Report, out.Rounds, *showCrash)
+}
 
-	rep := out.Report
-	fmt.Printf("fuzzer=%s execs=%d queue=%d favored=%d timeouts=%d crashes=%d rounds=%d\n",
-		*fuzzerName, rep.Stats.Execs, rep.QueueLen, rep.FavoredLen,
-		rep.Stats.Timeouts, rep.Stats.CrashExecs, out.Rounds)
+// resumeCampaign reloads the newest valid checkpoint under dir,
+// reconstructs the target from its metadata, and runs the campaign to
+// completion (or the next interruption).
+func resumeCampaign(dir string, ckptEvery int64, showCrash bool) {
+	ck, warns, err := campaign.LoadLatest(campaign.OSFS{}, dir)
+	for _, w := range warns {
+		warnf("%s", w)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	meta := ck.Meta
+
+	var target *core.Target
+	switch {
+	case meta.Subject != "":
+		sub := subjects.Get(meta.Subject)
+		if sub == nil {
+			fatalf("checkpoint references unknown subject %q", meta.Subject)
+		}
+		prog, perr := sub.Program()
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		target = core.FromProgram(prog)
+	case meta.Source != "":
+		src, rerr := os.ReadFile(meta.Source)
+		if rerr != nil {
+			fatalf("checkpointed source: %v", rerr)
+		}
+		sum := sha256.Sum256(src)
+		if got := hex.EncodeToString(sum[:]); got != meta.SourceSum {
+			fatalf("source %s changed since the campaign started (sha256 %s, checkpoint has %s); resuming would not be deterministic", meta.Source, got, meta.SourceSum)
+		}
+		target, err = core.Compile(string(src))
+		if err != nil {
+			fatalf("compile: %v", err)
+		}
+	default:
+		fatalf("checkpoint names neither a subject nor a source file")
+	}
+
+	fb, profile, ok := strategy.SingleConfig(strategy.Name(meta.Fuzzer))
+	if !ok {
+		fatalf("checkpointed configuration %q is not resumable", meta.Fuzzer)
+	}
+	opts := fuzz.Options{
+		Feedback:        fb,
+		Profile:         profile,
+		Seed:            meta.Seed,
+		MapSize:         meta.MapSize,
+		Entry:           meta.Entry,
+		KeepCrashInputs: true,
+	}
+	r := campaign.NewRunner(dir, campaign.Config{Interval: ckptEvery, Log: os.Stderr})
+	if err := r.Attach(target.Prog, opts, ck); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("resuming %s campaign at %d/%d execs\n", meta.Fuzzer, r.Fuzzer().Execs(), meta.Budget)
+	runDurable(r, dir, meta.Fuzzer, showCrash)
+}
+
+// runDurable installs signal handling and drives a durable campaign.
+func runDurable(r *campaign.Runner, dir, fuzzerName string, showCrash bool) {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "pafuzz: interrupt received, checkpointing (again to force-quit)")
+		r.RequestStop()
+		<-sigs
+		os.Exit(130)
+	}()
+
+	rep, interrupted, err := r.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if interrupted {
+		fmt.Printf("campaign interrupted at %d execs; continue with: pafuzz -resume -o %s\n", r.Fuzzer().Execs(), dir)
+		return
+	}
+	printReport(fuzzerName, rep, 1, showCrash)
+	fmt.Printf("state: %s (crashes in %s)\n", dir, filepath.Join(dir, "crashes"))
+}
+
+// loadSeedDir reads one input per regular file in dir, in name order,
+// skipping unreadable or oversized files with a warning.
+func loadSeedDir(dir string) [][]byte {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatalf("seed dir: %v", err)
+	}
+	var seeds [][]byte
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		info, err := ent.Info()
+		if err != nil {
+			warnf("skipping seed %s: %v", path, err)
+			continue
+		}
+		if info.Size() > maxSeedFile {
+			warnf("skipping seed %s: %d bytes exceeds %d byte cap", path, info.Size(), maxSeedFile)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			warnf("skipping seed %s: %v", path, err)
+			continue
+		}
+		seeds = append(seeds, data)
+	}
+	return seeds
+}
+
+func printReport(fuzzerName string, rep *fuzz.Report, rounds int, showCrash bool) {
+	fmt.Printf("fuzzer=%s execs=%d queue=%d favored=%d timeouts=%d crashes=%d faults=%d rounds=%d\n",
+		fuzzerName, rep.Stats.Execs, rep.QueueLen, rep.FavoredLen,
+		rep.Stats.Timeouts, rep.Stats.CrashExecs, rep.Stats.InternalFaults, rounds)
 	fmt.Printf("unique crashes (stack hash): %d\n", len(rep.Crashes))
 	keys := rep.BugKeys()
 	fmt.Printf("unique bugs (ground truth): %d\n", len(keys))
@@ -93,7 +293,10 @@ func main() {
 		rec := rep.Bugs[k]
 		fmt.Printf("  %-40s x%d (first at exec %d)\n", k, rec.Count, rec.FoundAt)
 	}
-	if *showCrash {
+	for _, ft := range rep.Faults {
+		fmt.Printf("  internal-fault: %-25s x%d (first at exec %d)\n", ft.Msg, ft.Count, ft.FoundAt)
+	}
+	if showCrash {
 		for _, rec := range rep.Crashes {
 			fmt.Printf("\n%s\n  input: %q\n", rec.Crash, rec.Input)
 		}
@@ -103,4 +306,8 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pafuzz: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+func warnf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pafuzz: warning: "+format+"\n", args...)
 }

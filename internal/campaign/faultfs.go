@@ -1,0 +1,112 @@
+package campaign
+
+import "errors"
+
+// ErrInjected is the error returned by every fault FaultFS injects, so
+// tests can distinguish injected failures from real ones.
+var ErrInjected = errors.New("campaign: injected filesystem fault")
+
+// FaultFS wraps an FS and injects deterministic failures. All counters
+// are plain state mutated in order of the operations performed, so a
+// given campaign + fault plan always fails at exactly the same point —
+// the property the recovery tests need to be reproducible.
+//
+// The zero value with only Inner set injects nothing.
+type FaultFS struct {
+	Inner FS
+
+	// WriteBudget, when >= 0, is the total number of bytes subsequent
+	// Write calls may produce across all files; the write that would
+	// cross it is short (the allowed prefix is written) and returns
+	// ErrInjected. -1 disables the limit.
+	WriteBudget int64
+	// FailCreates / FailSyncs / FailRenames fail the next N calls of
+	// the corresponding operation (decrementing per failure).
+	FailCreates int
+	FailSyncs   int
+	FailRenames int
+
+	// Op counters, for assertions.
+	Creates, Renames, Removes int
+}
+
+// NewFaultFS returns a FaultFS over inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{Inner: inner, WriteBudget: -1}
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	f.Creates++
+	if f.FailCreates > 0 {
+		f.FailCreates--
+		return nil, ErrInjected
+	}
+	file, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, file: file}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.Renames++
+	if f.FailRenames > 0 {
+		f.FailRenames--
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldname, newname)
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Inner.ReadFile(name) }
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	f.Removes++
+	return f.Inner.Remove(name)
+}
+
+// faultFile charges writes against the shared budget and injects sync
+// failures.
+type faultFile struct {
+	fs   *FaultFS
+	file File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.fs.WriteBudget < 0 {
+		return w.file.Write(p)
+	}
+	if int64(len(p)) <= w.fs.WriteBudget {
+		w.fs.WriteBudget -= int64(len(p))
+		return w.file.Write(p)
+	}
+	// Short write: emit the allowed prefix, then fail. The budget stays
+	// at zero so every later write fails too, modeling a full disk.
+	allowed := int(w.fs.WriteBudget)
+	w.fs.WriteBudget = 0
+	if allowed > 0 {
+		if n, err := w.file.Write(p[:allowed]); err != nil {
+			return n, err
+		}
+	}
+	return allowed, ErrInjected
+}
+
+func (w *faultFile) Sync() error {
+	if w.fs.FailSyncs > 0 {
+		w.fs.FailSyncs--
+		return ErrInjected
+	}
+	return w.file.Sync()
+}
+
+func (w *faultFile) Close() error { return w.file.Close() }

@@ -1,0 +1,114 @@
+// Package campaign makes fuzzing campaigns durable: it serializes full
+// fuzzer state (see fuzz.Snapshot) into versioned, checksummed
+// checkpoints written atomically, resumes campaigns from the last good
+// checkpoint — tolerating truncated or corrupt files by falling back to
+// an older one — and persists unique crashing inputs and quarantined
+// internal-fault inputs alongside. A resumed campaign reproduces, byte
+// for byte, the final report of the same campaign run uninterrupted
+// with the same seed.
+//
+// All filesystem access goes through the FS interface so the
+// fault-injection harness (FaultFS) can exercise every recovery path —
+// short writes, failed syncs, failed renames — deterministically in
+// tests.
+package campaign
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File checkpoint writing needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations durable campaigns perform.
+// The zero-cost default is OSFS; tests substitute FaultFS.
+type FS interface {
+	MkdirAll(dir string) error
+	Create(name string) (File, error)
+	Rename(oldname, newname string) error
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, syncing before an atomic rename, so a crash mid-write
+// never leaves a partially written file under the final name. On any
+// failure the temp file is removed and the previous contents of path
+// (if any) are untouched.
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := f.Write(data)
+	if err == nil && n < len(data) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// exists reports whether path is readable (used to skip rewriting
+// already-persisted crash inputs).
+func exists(fs FS, path string) bool {
+	_, err := fs.ReadFile(path)
+	return err == nil
+}
+
+// join is filepath.Join, re-exported for symmetry with FS paths.
+func join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,269 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/cfg"
+	"repro/internal/fuzz"
+)
+
+// Config tunes a Runner.
+type Config struct {
+	// FS is the filesystem used for all state (default OSFS).
+	FS FS
+	// Interval is the minimum number of executions between periodic
+	// checkpoints (default 25000). Checkpoints land on the first
+	// queue-entry boundary past each interval, so they never perturb
+	// the campaign's execution sequence.
+	Interval int64
+	// Keep is how many checkpoints to retain (default 2: the newest
+	// plus one fallback in case the newest is torn by a crash).
+	Keep int
+	// Log, when non-nil, receives warnings (skipped checkpoints, failed
+	// writes). Checkpoint failures are reported here and the campaign
+	// continues; durability degrades, fuzzing does not stop.
+	Log io.Writer
+	// StopAfter, when positive, simulates an interruption: the runner
+	// behaves as if RequestStop were called once the execution counter
+	// reaches it. The fault-injection and determinism tests use it to
+	// interrupt campaigns at exact, reproducible points.
+	StopAfter int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = OSFS{}
+	}
+	if c.Interval <= 0 {
+		c.Interval = 25000
+	}
+	if c.Keep <= 0 {
+		c.Keep = 2
+	}
+	return c
+}
+
+// Runner drives one durable fuzzing campaign rooted at a state
+// directory:
+//
+//	<dir>/checkpoints/ckpt-<execs>.pafc   sealed state snapshots
+//	<dir>/crashes/<bug key>               first input per unique bug
+//	<dir>/faults/<fault msg>              inputs that panicked the VM
+type Runner struct {
+	cfg  Config
+	dir  string
+	meta Meta
+	f    *fuzz.Fuzzer
+
+	lastCkpt int64
+	stop     atomic.Bool
+}
+
+// NewRunner builds a runner over the state directory dir.
+func NewRunner(dir string, cfg Config) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), dir: dir}
+}
+
+// Fuzzer exposes the underlying campaign (nil before Start/Attach).
+func (r *Runner) Fuzzer() *fuzz.Fuzzer { return r.f }
+
+// Meta returns the campaign identity.
+func (r *Runner) Meta() Meta { return r.meta }
+
+// RequestStop asks the campaign to shut down gracefully: at the next
+// queue-entry boundary a final checkpoint is written and Run returns
+// with interrupted=true. Safe to call from any goroutine (signal
+// handlers).
+func (r *Runner) RequestStop() { r.stop.Store(true) }
+
+// Start begins a fresh campaign: builds the fuzzer, executes the seed
+// corpus, and writes checkpoint zero so the campaign is resumable from
+// the very beginning.
+func (r *Runner) Start(prog *cfg.Program, opts fuzz.Options, meta Meta, seeds [][]byte) error {
+	f, err := fuzz.New(prog, opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range seeds {
+		f.AddSeed(s)
+	}
+	r.f = f
+	r.meta = meta
+	if err := r.cfg.FS.MkdirAll(r.dir); err != nil {
+		return err
+	}
+	if err := r.checkpoint(); err != nil {
+		// The initial checkpoint is load-bearing: failing it means the
+		// state dir is unusable, better to find out before fuzzing.
+		return fmt.Errorf("campaign: initial checkpoint failed: %w", err)
+	}
+	return nil
+}
+
+// Attach resumes a campaign from a loaded checkpoint (see LoadLatest).
+// opts must reproduce the original campaign's options; the caller
+// derives them from ck.Meta.
+func (r *Runner) Attach(prog *cfg.Program, opts fuzz.Options, ck *Checkpoint) error {
+	f, err := fuzz.Restore(prog, opts, ck.Snap)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.meta = ck.Meta
+	r.lastCkpt = ck.Snap.Stats.Execs
+	return nil
+}
+
+// Run fuzzes until meta.Budget executions or a stop request, writing
+// periodic checkpoints. On normal completion it returns the final
+// report and persists a final checkpoint plus all crash inputs; on
+// interruption it returns interrupted=true and a nil report — the
+// campaign continues via resume.
+func (r *Runner) Run() (rep *fuzz.Report, interrupted bool, err error) {
+	if r.f == nil {
+		return nil, false, fmt.Errorf("campaign: Run before Start/Attach")
+	}
+	r.f.SetCheckpointHook(r.hook)
+	defer r.f.SetCheckpointHook(nil)
+	r.f.Fuzz(r.meta.Budget)
+	if r.f.Execs() < r.meta.Budget {
+		// Stopped early; the hook wrote the final checkpoint.
+		return nil, true, nil
+	}
+	rep = r.f.Report()
+	if cerr := r.checkpoint(); cerr != nil {
+		r.logf("final checkpoint failed: %v", cerr)
+	}
+	return rep, false, nil
+}
+
+// hook runs at every queue-entry boundary inside the fuzz loop — the
+// deterministic safe points where full state can be captured.
+func (r *Runner) hook(f *fuzz.Fuzzer) bool {
+	if r.cfg.StopAfter > 0 && f.Execs() >= r.cfg.StopAfter {
+		r.stop.Store(true)
+	}
+	if r.stop.Load() {
+		if err := r.checkpoint(); err != nil {
+			r.logf("shutdown checkpoint failed: %v", err)
+		}
+		return false
+	}
+	if f.Execs()-r.lastCkpt >= r.cfg.Interval {
+		if err := r.checkpoint(); err != nil {
+			// A failed periodic checkpoint costs durability, not the
+			// campaign: keep fuzzing on the last good one.
+			r.logf("checkpoint at %d execs failed: %v", f.Execs(), err)
+		}
+	}
+	return true
+}
+
+// checkpoint snapshots the campaign, writes a sealed checkpoint, and
+// persists any new crash/fault inputs.
+func (r *Runner) checkpoint() error {
+	snap := r.f.Snapshot()
+	ck := &Checkpoint{Meta: r.meta, Snap: snap}
+	if err := writeCheckpoint(r.cfg.FS, r.dir, ck, r.cfg.Keep); err != nil {
+		return err
+	}
+	r.lastCkpt = snap.Stats.Execs
+	r.writeFindings(snap)
+	return nil
+}
+
+// writeFindings persists crash and internal-fault inputs from a
+// snapshot, one file per unique key, skipping files already on disk.
+// Failures are warnings: findings are also inside every checkpoint.
+func (r *Runner) writeFindings(snap *fuzz.Snapshot) {
+	if len(snap.Bugs) > 0 {
+		dir := join(r.dir, "crashes")
+		if err := r.cfg.FS.MkdirAll(dir); err != nil {
+			r.logf("crashes dir: %v", err)
+			return
+		}
+		for _, b := range snap.Bugs {
+			if b.Input == nil {
+				continue
+			}
+			path := join(dir, SanitizeName(b.Key))
+			if exists(r.cfg.FS, path) {
+				continue
+			}
+			if err := WriteFileAtomic(r.cfg.FS, path, b.Input); err != nil {
+				r.logf("saving crash input %s: %v", b.Key, err)
+			}
+		}
+	}
+	if len(snap.Faults) > 0 {
+		dir := join(r.dir, "faults")
+		if err := r.cfg.FS.MkdirAll(dir); err != nil {
+			r.logf("faults dir: %v", err)
+			return
+		}
+		for _, ft := range snap.Faults {
+			path := join(dir, SanitizeName(ft.Msg))
+			if exists(r.cfg.FS, path) {
+				continue
+			}
+			if err := WriteFileAtomic(r.cfg.FS, path, ft.Input); err != nil {
+				r.logf("saving fault input: %v", err)
+			}
+		}
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Log != nil {
+		fmt.Fprintf(r.cfg.Log, "campaign: "+format+"\n", args...)
+	}
+}
+
+// WriteCrashInputs persists a finished report's unique crashing inputs
+// under dir/crashes, named by triage (bug) key — the non-durable path
+// pafuzz uses when no checkpointing is active.
+func WriteCrashInputs(fs FS, dir string, rep *fuzz.Report) error {
+	if rep == nil || len(rep.Bugs) == 0 {
+		return nil
+	}
+	cdir := join(dir, "crashes")
+	if err := fs.MkdirAll(cdir); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, k := range rep.BugKeys() {
+		rec := rep.Bugs[k]
+		if rec == nil || rec.Input == nil {
+			continue
+		}
+		path := join(cdir, SanitizeName(k))
+		if exists(fs, path) {
+			continue
+		}
+		if err := WriteFileAtomic(fs, path, rec.Input); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SanitizeName maps an arbitrary key (bug keys contain ':', fault
+// messages contain spaces) to a safe filename.
+func SanitizeName(key string) string {
+	if key == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(key))
+	for i := 0; i < len(key) && i < 128; i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -70,6 +70,9 @@ type Campaign struct {
 	MapSize int
 	// Limits bounds individual executions.
 	Limits vm.Limits
+	// KeepCrashInputs retains the first crashing input per unique crash,
+	// so callers can save or replay them.
+	KeepCrashInputs bool
 }
 
 // Outcome re-exports the strategy outcome.
@@ -88,10 +91,11 @@ func (t *Target) Fuzz(c Campaign) (*Outcome, error) {
 	}
 	cfgr := strategy.Config{
 		Opts: fuzz.Options{
-			Seed:    c.Seed,
-			MapSize: c.MapSize,
-			Entry:   t.Entry,
-			Limits:  c.Limits,
+			Seed:            c.Seed,
+			MapSize:         c.MapSize,
+			Entry:           t.Entry,
+			Limits:          c.Limits,
+			KeepCrashInputs: c.KeepCrashInputs,
 		},
 		Budget:      c.Budget,
 		RoundBudget: c.RoundBudget,

@@ -4,7 +4,10 @@
 // bit tracking for novelty detection.
 package coverage
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // DefaultMapSize is the default number of coverage map entries. The
 // paper configures AFL++'s map to 2^18 entries; the default here is
@@ -200,6 +203,42 @@ func (v *Virgin) MergeSparse(m *Map) Novelty {
 		}
 	}
 	return ret
+}
+
+// VirginCell is one consumed virgin-map entry (bits != 0xff), the
+// sparse unit campaign checkpoints serialize: a fresh virgin map plus
+// the cell list reconstructs the exact novelty state.
+type VirginCell struct {
+	Index uint32
+	Bits  uint8
+}
+
+// Cells returns the consumed entries in index order. A fresh map
+// returns nil.
+func (v *Virgin) Cells() []VirginCell {
+	var out []VirginCell
+	for i, b := range v.bits {
+		if b != 0xff {
+			out = append(out, VirginCell{Index: uint32(i), Bits: b})
+		}
+	}
+	return out
+}
+
+// SetCells resets the map to all-virgin and applies cells, the inverse
+// of Cells. Out-of-range indices are rejected (a corrupt or
+// wrong-map-size checkpoint).
+func (v *Virgin) SetCells(cells []VirginCell) error {
+	for i := range v.bits {
+		v.bits[i] = 0xff
+	}
+	for _, c := range cells {
+		if int(c.Index) >= len(v.bits) {
+			return fmt.Errorf("coverage: virgin cell index %d out of range for map size %d", c.Index, len(v.bits))
+		}
+		v.bits[c.Index] = c.Bits
+	}
+	return nil
 }
 
 // Peek is Merge without consuming: it reports novelty but leaves the

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/fuzz"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
@@ -41,6 +42,14 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives one line per finished campaign.
 	Progress io.Writer
+	// StateDir, when non-empty, makes the suite durable: every finished
+	// campaign is persisted under StateDir/runs/, and a restarted suite
+	// reloads finished runs instead of recomputing them. Saved runs from
+	// a different configuration (budget, seed, map size) are ignored.
+	StateDir string
+	// FS is the filesystem used for durable state (default campaign.OSFS;
+	// tests inject fault filesystems).
+	FS campaign.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.FS == nil {
+		c.FS = campaign.OSFS{}
 	}
 	return c
 }
@@ -172,7 +184,25 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 	worker := func() {
 		defer wg.Done()
 		for j := range ch {
-			rr, err := runOne(cfg, j.subject, j.fuzzer, j.run)
+			var (
+				rr     *RunResult
+				err    error
+				how    = "done"
+				saveEr error
+			)
+			if cfg.StateDir != "" {
+				rr = loadRun(cfg, j.subject, j.fuzzer, j.run)
+			}
+			if rr != nil {
+				how = "restored"
+			} else {
+				rr, err = runOne(cfg, j.subject, j.fuzzer, j.run)
+				if err == nil && cfg.StateDir != "" {
+					// A failed save costs durability for this one run, not
+					// the suite.
+					saveEr = saveRun(cfg, rr)
+				}
+			}
 			mu.Lock()
 			if err != nil && firstEr == nil {
 				firstEr = err
@@ -180,8 +210,11 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 			if err == nil {
 				sr.Results[j.subject][j.fuzzer][j.run] = rr
 				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "done %-10s %-8s run %d: %d bugs, %d crashes, queue %d\n",
-						j.subject, j.fuzzer, j.run, len(rr.Report.Bugs), len(rr.Report.Crashes), rr.Report.QueueLen)
+					fmt.Fprintf(cfg.Progress, "%s %-10s %-8s run %d: %d bugs, %d crashes, queue %d\n",
+						how, j.subject, j.fuzzer, j.run, len(rr.Report.Bugs), len(rr.Report.Crashes), rr.Report.QueueLen)
+					if saveEr != nil {
+						fmt.Fprintf(cfg.Progress, "warning: persisting %s/%s run %d: %v\n", j.subject, j.fuzzer, j.run, saveEr)
+					}
 				}
 			}
 			mu.Unlock()

@@ -1,0 +1,115 @@
+package evalharness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/strategy"
+)
+
+// countFS counts Create calls so tests can assert a restarted suite
+// recomputes nothing.
+type countFS struct {
+	campaign.FS
+	creates int
+}
+
+func (c *countFS) Create(name string) (campaign.File, error) {
+	c.creates++
+	return c.FS.Create(name)
+}
+
+func durableCfg(dir string, fs campaign.FS) Config {
+	return Config{
+		Subjects: []string{"flvmeta"},
+		Fuzzers:  []strategy.Name{strategy.Path, strategy.Cull},
+		Runs:     2,
+		Budget:   8000,
+		MapSize:  1 << 13,
+		BaseSeed: 3,
+		Workers:  2,
+		StateDir: dir,
+		FS:       fs,
+	}
+}
+
+// TestSuiteDurability runs a durable suite twice: the restart must
+// reload every run from disk (zero new run files) and reproduce the
+// first suite's results exactly.
+func TestSuiteDurability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	dir := t.TempDir()
+
+	first, err := RunSuite(durableCfg(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(filepath.Join(dir, runsDir))
+	if err != nil || len(names) != 4 {
+		t.Fatalf("want 4 persisted runs, got %d (%v)", len(names), err)
+	}
+
+	cfs := &countFS{FS: campaign.OSFS{}}
+	var progress strings.Builder
+	cfg := durableCfg(dir, cfs)
+	cfg.Progress = &progress
+	second, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfs.creates != 0 {
+		t.Errorf("restarted suite wrote %d files, want 0", cfs.creates)
+	}
+	if !strings.Contains(progress.String(), "restored") {
+		t.Errorf("progress does not mention restored runs:\n%s", progress.String())
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("restored suite differs from the original")
+	}
+}
+
+// TestSuiteDurabilityRejectsStale verifies a corrupt run file and a
+// changed configuration both fall back to recomputation.
+func TestSuiteDurabilityRejectsStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	dir := t.TempDir()
+	cfg := durableCfg(dir, nil)
+	cfg.Fuzzers = []strategy.Name{strategy.Path}
+	first, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one run file: that run is recomputed, results unchanged.
+	path := filepath.Join(dir, runsDir, runFileName("flvmeta", strategy.Path, 0))
+	if err := os.Truncate(path, 8); err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("recomputed run differs after corruption")
+	}
+
+	// A different budget must not reuse saved runs.
+	cfs := &countFS{FS: campaign.OSFS{}}
+	cfg2 := cfg
+	cfg2.Budget = 9000
+	cfg2.FS = cfs
+	if _, err := RunSuite(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if cfs.creates == 0 {
+		t.Error("changed-budget suite reused stale saved runs")
+	}
+}

@@ -62,6 +62,11 @@ type Options struct {
 	// KeepCrashInputs retains the first crashing input per unique
 	// stack hash (default true via New).
 	KeepCrashInputs bool
+	// FaultInjector, when non-nil, is consulted before every execution
+	// and simulates an interpreter panic when it returns true. It exists
+	// for the campaign durability fault-injection tests; see also
+	// vm.Limits.InjectPanicAtStep for panics injected mid-execution.
+	FaultInjector func(execs int64, data []byte) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -139,6 +144,21 @@ type Stats struct {
 	// Appendix C (Table IX) contrasts this over-counting criterion with
 	// stack-hash clustering.
 	AFLUniqueCrashes int64
+	// InternalFaults counts executions quarantined because the
+	// interpreter (or instrumentation) panicked. These are harness
+	// defects, not findings against the program under test; the campaign
+	// survives them and records the triggering inputs.
+	InternalFaults int64
+}
+
+// InternalFault is one quarantined harness failure: a panic during
+// vm.Run recovered by the fuzz loop instead of killing the campaign.
+// Faults are deduplicated by message; Input is the first trigger.
+type InternalFault struct {
+	Msg     string
+	Input   []byte
+	FoundAt int64
+	Count   int
 }
 
 // Fuzzer is one fuzzing campaign instance.
@@ -165,12 +185,36 @@ type Fuzzer struct {
 
 	stats   Stats
 	history []HistPoint
+	// faults lists quarantined interpreter panics (capped; the full
+	// count is in stats.InternalFaults).
+	faults []InternalFault
 
 	// avgSteps/avgCov track running means for the power schedule.
 	sumSteps int64
 	sumCov   int64
 
 	dictSeen map[string]bool
+
+	// rngSrc is the counting source behind rng; snapshots record its
+	// draw count so a resumed campaign can fast-forward a fresh source
+	// to the exact same stream position.
+	rngSrc *countingSource
+
+	// Fuzz-loop position, promoted to fields so a checkpoint taken
+	// between queue entries can resume mid-cycle: qi is the next queue
+	// index to fuzz, qlen the cycle's frozen queue length, midCycle
+	// whether a cycle is in flight.
+	qi, qlen int
+	midCycle bool
+	// History sampling schedule; restored verbatim on resume so the
+	// sample points of a resumed campaign match an uninterrupted one.
+	sampleEvery, nextSample int64
+	samplingRestored        bool
+
+	// hook, when set, runs after every fuzzed queue entry — a
+	// deterministic safe point where full state can be snapshotted.
+	// Returning false stops Fuzz early (graceful shutdown).
+	hook func(*Fuzzer) bool
 }
 
 // New constructs a fuzzer for prog.
@@ -184,10 +228,12 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := newCountingSource(opts.Seed)
 	f := &Fuzzer{
 		prog:        prog,
 		opts:        opts,
-		rng:         rand.New(rand.NewSource(opts.Seed)),
+		rng:         rand.New(src),
+		rngSrc:      src,
 		tracer:      tr,
 		cov:         m,
 		virgin:      coverage.NewVirgin(opts.MapSize),
@@ -245,11 +291,58 @@ type execOutcome struct {
 	cov     []uint32
 }
 
+// runProtected executes one input with panic isolation: a panic inside
+// the interpreter or instrumentation (a harness defect, possibly
+// injected by the fault harness) is recovered and reported via ok=false
+// instead of unwinding through the fuzz loop and killing the campaign.
+func (f *Fuzzer) runProtected(data []byte) (res vm.Result, faultMsg string, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			faultMsg = fmt.Sprint(r)
+			ok = false
+		}
+	}()
+	if inj := f.opts.FaultInjector; inj != nil && inj(f.stats.Execs, data) {
+		panic("fuzz: injected execution fault")
+	}
+	return vm.Run(f.prog, f.opts.Entry, data, f.tracer, f.opts.Limits), "", true
+}
+
+// recordFault quarantines one interpreter panic as an internal-fault
+// finding, deduplicated by message.
+func (f *Fuzzer) recordFault(data []byte, msg string) {
+	f.stats.InternalFaults++
+	for i := range f.faults {
+		if f.faults[i].Msg == msg {
+			f.faults[i].Count++
+			return
+		}
+	}
+	const maxFaultRecs = 64
+	if len(f.faults) >= maxFaultRecs {
+		return
+	}
+	f.faults = append(f.faults, InternalFault{
+		Msg:     msg,
+		Input:   append([]byte(nil), data...),
+		FoundAt: f.stats.Execs,
+		Count:   1,
+	})
+}
+
 // execute runs one input and folds novelty into the virgin map.
 func (f *Fuzzer) execute(data []byte) execOutcome {
 	f.cov.Reset()
-	res := vm.Run(f.prog, f.opts.Entry, data, f.tracer, f.opts.Limits)
+	res, faultMsg, ok := f.runProtected(data)
 	f.stats.Execs++
+	if !ok {
+		// The execution is quarantined: its (possibly partial) coverage
+		// is discarded so the virgin maps and queue see a no-op, and the
+		// input is kept as an internal-fault record.
+		f.recordFault(data, faultMsg)
+		f.cov.Reset()
+		return execOutcome{res: vm.Result{Status: vm.StatusOK}}
+	}
 	f.stats.TotalSteps += res.Steps
 	f.cov.ClassifySparse()
 	nov := f.virgin.MergeSparse(f.cov)
@@ -470,8 +563,17 @@ func (f *Fuzzer) processNew(data []byte, out execOutcome, depth int) {
 	f.cmplogStage(e, out.res.Cmps)
 }
 
+// SetCheckpointHook registers fn, called after every fuzzed queue entry
+// — a deterministic safe point at which Snapshot captures complete
+// campaign state. The hook must not mutate the fuzzer beyond taking
+// snapshots; returning false makes Fuzz return early (graceful
+// shutdown), leaving the campaign resumable from the last snapshot.
+func (f *Fuzzer) SetCheckpointHook(fn func(*Fuzzer) bool) { f.hook = fn }
+
 // Fuzz runs the campaign until the execution counter reaches budget.
-// It can be called repeatedly with growing budgets.
+// It can be called repeatedly with growing budgets: an in-flight queue
+// cycle (including one restored by Restore) is continued, not
+// restarted.
 func (f *Fuzzer) Fuzz(budget int64) {
 	if len(f.queue) == 0 {
 		// Never fuzz an empty queue: synthesise a minimal seed.
@@ -482,16 +584,26 @@ func (f *Fuzzer) Fuzz(budget int64) {
 			f.enqueue([]byte("seed"), nil, 1, 0, true)
 		}
 	}
-	sampleEvery := budget / int64(f.opts.HistorySamples)
-	if sampleEvery <= 0 {
-		sampleEvery = 1
+	if f.samplingRestored {
+		// A resumed campaign keeps the original sampling schedule so its
+		// history matches an uninterrupted run's exactly.
+		f.samplingRestored = false
+	} else {
+		f.sampleEvery = budget / int64(f.opts.HistorySamples)
+		if f.sampleEvery <= 0 {
+			f.sampleEvery = 1
+		}
+		f.nextSample = f.stats.Execs + f.sampleEvery
 	}
-	nextSample := f.stats.Execs + sampleEvery
 	for f.stats.Execs < budget {
-		f.cullFavored()
-		qlen := len(f.queue)
-		for qi := 0; qi < qlen && f.stats.Execs < budget; qi++ {
-			e := f.queue[qi]
+		if !f.midCycle {
+			f.cullFavored()
+			f.qi, f.qlen = 0, len(f.queue)
+			f.midCycle = true
+		}
+		for f.qi < f.qlen && f.stats.Execs < budget {
+			e := f.queue[f.qi]
+			f.qi++
 			if f.skip(e) {
 				continue
 			}
@@ -500,12 +612,18 @@ func (f *Fuzzer) Fuzz(budget int64) {
 				f.pendingFavored--
 			}
 			e.WasFuzzed = true
-			for f.stats.Execs >= nextSample {
+			for f.stats.Execs >= f.nextSample {
 				f.sample()
-				nextSample += sampleEvery
+				f.nextSample += f.sampleEvery
+			}
+			if f.hook != nil && !f.hook(f) {
+				return
 			}
 		}
 		f.stats.Cycles++
+		if f.qi >= f.qlen {
+			f.midCycle = false
+		}
 	}
 	f.sample()
 }

@@ -27,6 +27,9 @@ type Report struct {
 	History []HistPoint
 	// MapCount is the number of coverage map indices ever touched.
 	MapCount int
+	// Faults lists quarantined internal faults (interpreter panics the
+	// campaign survived); the total count is Stats.InternalFaults.
+	Faults []InternalFault
 }
 
 // Report snapshots the campaign state.
@@ -40,6 +43,7 @@ func (f *Fuzzer) Report() *Report {
 		Bugs:       make(map[string]*CrashRec, len(f.bugs)),
 		History:    append([]HistPoint(nil), f.history...),
 		MapCount:   len(f.topRated),
+		Faults:     append([]InternalFault(nil), f.faults...),
 	}
 	for _, rec := range f.crashes {
 		r.Crashes = append(r.Crashes, rec)
@@ -51,8 +55,12 @@ func (f *Fuzzer) Report() *Report {
 	return r
 }
 
-// BugKeys returns the sorted ground-truth bug keys found.
+// BugKeys returns the sorted ground-truth bug keys found. A nil report
+// (e.g. an empty or failed campaign) yields nil.
 func (r *Report) BugKeys() []string {
+	if r == nil || len(r.Bugs) == 0 {
+		return nil
+	}
 	keys := make([]string, 0, len(r.Bugs))
 	for k := range r.Bugs {
 		keys = append(keys, k)
@@ -63,14 +71,19 @@ func (r *Report) BugKeys() []string {
 
 // MergeReports folds multiple campaign reports (e.g. the rounds of a
 // culling run, or repeated trials) into cumulative crash/bug views.
-// Queue/history fields are taken from the last report.
+// Queue/history fields are taken from the last report. Nil reports —
+// an empty campaign, a round that never ran — are skipped, and crash
+// records without a report attached are ignored rather than
+// dereferenced, so merging a degenerate campaign cannot panic.
 func MergeReports(reports ...*Report) *Report {
-	if len(reports) == 0 {
-		return &Report{Bugs: map[string]*CrashRec{}}
-	}
 	out := &Report{Bugs: make(map[string]*CrashRec)}
 	crashByHash := make(map[uint64]*CrashRec)
+	var last *Report
 	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		last = r
 		out.Stats.Execs += r.Stats.Execs
 		out.Stats.Timeouts += r.Stats.Timeouts
 		out.Stats.CrashExecs += r.Stats.CrashExecs
@@ -78,7 +91,11 @@ func MergeReports(reports ...*Report) *Report {
 		out.Stats.Cycles += r.Stats.Cycles
 		out.Stats.Added += r.Stats.Added
 		out.Stats.AFLUniqueCrashes += r.Stats.AFLUniqueCrashes
+		out.Stats.InternalFaults += r.Stats.InternalFaults
 		for _, rec := range r.Crashes {
+			if rec == nil || rec.Crash == nil {
+				continue
+			}
 			h := rec.Crash.StackHash(5)
 			if cur, ok := crashByHash[h]; ok {
 				cur.Count += rec.Count
@@ -88,6 +105,9 @@ func MergeReports(reports ...*Report) *Report {
 			}
 		}
 		for k, rec := range r.Bugs {
+			if rec == nil {
+				continue
+			}
 			if cur, ok := out.Bugs[k]; ok {
 				cur.Count += rec.Count
 			} else {
@@ -95,19 +115,36 @@ func MergeReports(reports ...*Report) *Report {
 				out.Bugs[k] = &cp
 			}
 		}
+		for _, fr := range r.Faults {
+			merged := false
+			for i := range out.Faults {
+				if out.Faults[i].Msg == fr.Msg {
+					out.Faults[i].Count += fr.Count
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out.Faults = append(out.Faults, fr)
+			}
+		}
 	}
 	for _, rec := range crashByHash {
 		out.Crashes = append(out.Crashes, rec)
 	}
 	sort.Slice(out.Crashes, func(i, j int) bool { return out.Crashes[i].FoundAt < out.Crashes[j].FoundAt })
-	last := reports[len(reports)-1]
-	out.QueueLen = last.QueueLen
-	out.Queue = last.Queue
-	out.FavoredLen = last.FavoredLen
-	out.MapCount = last.MapCount
+	if last != nil {
+		out.QueueLen = last.QueueLen
+		out.Queue = last.Queue
+		out.FavoredLen = last.FavoredLen
+		out.MapCount = last.MapCount
+	}
 	// Histories concatenate with execution counters made cumulative.
 	var base int64
 	for _, r := range reports {
+		if r == nil {
+			continue
+		}
 		for _, h := range r.History {
 			h.Execs += base
 			out.History = append(out.History, h)

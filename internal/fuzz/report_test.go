@@ -1,0 +1,66 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+)
+
+// TestReportNilGuards: BugKeys and MergeReports must tolerate nil
+// receivers, nil arguments, and empty merges — the round drivers and
+// the campaign runner feed them partial inputs on failure paths.
+func TestReportNilGuards(t *testing.T) {
+	var nilRep *Report
+	if keys := nilRep.BugKeys(); keys != nil {
+		t.Errorf("nil receiver BugKeys = %v, want nil", keys)
+	}
+	if keys := (&Report{}).BugKeys(); keys != nil {
+		t.Errorf("empty report BugKeys = %v, want nil", keys)
+	}
+
+	if m := MergeReports(); m == nil || m.Bugs == nil {
+		t.Fatal("empty merge returned nil report or nil bug map")
+	}
+	if m := MergeReports(nil, nil); m == nil || len(m.Bugs) != 0 {
+		t.Fatal("all-nil merge not empty")
+	}
+}
+
+// TestMergeReportsSkipsNil merges real reports around nils and checks
+// the aggregates survive.
+func TestMergeReportsSkipsNil(t *testing.T) {
+	p := compileT(t, `
+func main(input) {
+    if (len(input) >= 2 && input[0] == 'A' && input[1] == 'B') { abort(); }
+    return 0;
+}`)
+	f, err := New(p, Options{Feedback: instrument.FeedbackEdge, Seed: 1, MapSize: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddSeed([]byte("xx"))
+	f.Fuzz(30000)
+	rep := f.Report()
+	if len(rep.Bugs) == 0 {
+		t.Fatal("no bugs to merge")
+	}
+
+	m := MergeReports(nil, rep, nil)
+	if m.Stats.Execs != rep.Stats.Execs {
+		t.Errorf("execs %d, want %d", m.Stats.Execs, rep.Stats.Execs)
+	}
+	if len(m.Bugs) != len(rep.Bugs) {
+		t.Errorf("bugs %d, want %d", len(m.Bugs), len(rep.Bugs))
+	}
+	if m.QueueLen != rep.QueueLen {
+		t.Errorf("queue len %d, want %d", m.QueueLen, rep.QueueLen)
+	}
+
+	// Merging the same report twice sums counts per bug.
+	m2 := MergeReports(rep, rep)
+	for k, rec := range m2.Bugs {
+		if want := rep.Bugs[k].Count * 2; rec.Count != want {
+			t.Errorf("bug %s count %d, want %d", k, rec.Count, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Campaign snapshot and restore: the exported state hooks behind the
+// checkpoint/resume subsystem (package campaign). A Snapshot captures
+// everything a campaign needs to continue deterministically — queue
+// entries with their metadata, virgin maps, crash and bug dedup state,
+// the auto-dictionary, stats, history, the RNG stream position, and the
+// fuzz loop's mid-cycle position. Restore rebuilds a fuzzer from a
+// snapshot such that continuing it reproduces, execution for execution,
+// what an uninterrupted campaign would have done: derived state
+// (top-rated champions, power-schedule running sums) is re-calibrated
+// from the queue rather than trusted from the snapshot.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/coverage"
+	"repro/internal/vm"
+)
+
+// countingSource wraps the campaign's random source and counts draws.
+// math/rand sources are not serializable, so snapshots record the draw
+// count and Restore fast-forwards a fresh source seeded identically:
+// both Int63 and Uint64 advance the underlying generator by exactly one
+// step, so replaying n draws of either reproduces the stream position.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// skipTo advances the source until n draws have been consumed.
+func (c *countingSource) skipTo(n uint64) {
+	for c.draws < n {
+		c.src.Uint64()
+		c.draws++
+	}
+}
+
+// SnapEntry is the serialized form of a queue Entry. IDs are implicit:
+// an entry's ID is its index in the snapshot's Entries slice, which
+// preserves queue order.
+type SnapEntry struct {
+	Data      []byte
+	Cov       []uint32
+	Steps     int64
+	Depth     int
+	FoundAt   int64
+	Handicap  int
+	Favored   bool
+	WasFuzzed bool
+	IsSeed    bool
+}
+
+// SnapCrash is the serialized form of one crash-dedup record. Hash
+// carries the stack-hash key for crash records; Key carries the
+// ground-truth bug key for bug records.
+type SnapCrash struct {
+	Hash    uint64
+	Key     string
+	Crash   *vm.Crash
+	Input   []byte
+	Count   int
+	FoundAt int64
+}
+
+// Snapshot is a complete, serializable image of a campaign at a safe
+// point. All slices are canonically ordered (queue order; crashes by
+// hash; bugs by key), so encoding the same state twice yields identical
+// bytes — the property the checkpoint determinism tests rely on.
+type Snapshot struct {
+	Entries     []SnapEntry
+	Virgin      []coverage.VirginCell
+	CrashVirgin []coverage.VirginCell
+	Crashes     []SnapCrash
+	Bugs        []SnapCrash
+	Faults      []InternalFault
+	Stats       Stats
+	History     []HistPoint
+	Dict        [][]byte
+	RNGDraws    uint64
+
+	// Fuzz-loop position (see Fuzzer.midCycle and friends).
+	PendingFavored int
+	MidCycle       bool
+	NextIndex      int
+	CycleLen       int
+	SampleEvery    int64
+	NextSample     int64
+}
+
+// Snapshot captures the campaign state. It must be called at a safe
+// point: between queue entries (the checkpoint hook) or while the
+// fuzzer is not running.
+func (f *Fuzzer) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Entries:        make([]SnapEntry, len(f.queue)),
+		Virgin:         f.virgin.Cells(),
+		CrashVirgin:    f.crashVirgin.Cells(),
+		Faults:         append([]InternalFault(nil), f.faults...),
+		Stats:          f.stats,
+		History:        append([]HistPoint(nil), f.history...),
+		Dict:           append([][]byte(nil), f.mut.dict...),
+		RNGDraws:       f.rngSrc.draws,
+		PendingFavored: f.pendingFavored,
+		MidCycle:       f.midCycle,
+		NextIndex:      f.qi,
+		CycleLen:       f.qlen,
+		SampleEvery:    f.sampleEvery,
+		NextSample:     f.nextSample,
+	}
+	for i, e := range f.queue {
+		s.Entries[i] = SnapEntry{
+			Data:      e.Data,
+			Cov:       e.Cov,
+			Steps:     e.Steps,
+			Depth:     e.Depth,
+			FoundAt:   e.FoundAt,
+			Handicap:  e.Handicap,
+			Favored:   e.Favored,
+			WasFuzzed: e.WasFuzzed,
+			IsSeed:    e.IsSeed,
+		}
+	}
+	for h, rec := range f.crashes {
+		s.Crashes = append(s.Crashes, SnapCrash{Hash: h, Crash: rec.Crash, Input: rec.Input, Count: rec.Count, FoundAt: rec.FoundAt})
+	}
+	sort.Slice(s.Crashes, func(i, j int) bool { return s.Crashes[i].Hash < s.Crashes[j].Hash })
+	for k, rec := range f.bugs {
+		s.Bugs = append(s.Bugs, SnapCrash{Key: k, Crash: rec.Crash, Input: rec.Input, Count: rec.Count, FoundAt: rec.FoundAt})
+	}
+	sort.Slice(s.Bugs, func(i, j int) bool { return s.Bugs[i].Key < s.Bugs[j].Key })
+	return s
+}
+
+// Restore builds a fuzzer over prog from a snapshot. opts must match
+// the options of the campaign that produced the snapshot (same seed,
+// feedback, map size, profile, limits); the campaign checkpoint layer
+// stores and validates that metadata. Derived state — top-rated
+// champions and the power-schedule sums — is re-calibrated from the
+// restored queue, and the RNG is fast-forwarded to the snapshot's
+// stream position, so continuing the fuzzer reproduces an uninterrupted
+// campaign exactly.
+func Restore(prog *cfg.Program, opts Options, snap *Snapshot) (*Fuzzer, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("fuzz: nil snapshot")
+	}
+	f, err := New(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.restore(snap); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *Fuzzer) restore(snap *Snapshot) error {
+	mapSize := uint32(f.cov.Len())
+	f.queue = make([]*Entry, 0, len(snap.Entries))
+	f.topRated = make(map[uint32]*Entry)
+	f.sumSteps, f.sumCov = 0, 0
+	for i, se := range snap.Entries {
+		if len(se.Data) > f.opts.MaxInputLen {
+			return fmt.Errorf("fuzz: snapshot entry %d is %d bytes, exceeds input cap %d", i, len(se.Data), f.opts.MaxInputLen)
+		}
+		for _, idx := range se.Cov {
+			if idx >= mapSize {
+				return fmt.Errorf("fuzz: snapshot entry %d covers index %d outside map of size %d", i, idx, mapSize)
+			}
+		}
+		e := &Entry{
+			ID:        i,
+			Data:      append([]byte(nil), se.Data...),
+			Cov:       append([]uint32(nil), se.Cov...),
+			Steps:     se.Steps,
+			Depth:     se.Depth,
+			FoundAt:   se.FoundAt,
+			Handicap:  se.Handicap,
+			Favored:   se.Favored,
+			WasFuzzed: se.WasFuzzed,
+			IsSeed:    se.IsSeed,
+		}
+		f.queue = append(f.queue, e)
+		f.sumSteps += e.Steps
+		f.sumCov += int64(len(e.Cov))
+		// Replaying champion updates in queue order reproduces the
+		// incremental top-rated map exactly (ties keep the earlier
+		// entry, as they did originally).
+		f.updateTopRated(e)
+	}
+	if err := f.virgin.SetCells(snap.Virgin); err != nil {
+		return err
+	}
+	if err := f.crashVirgin.SetCells(snap.CrashVirgin); err != nil {
+		return err
+	}
+	f.crashes = make(map[uint64]*CrashRec, len(snap.Crashes))
+	for _, sc := range snap.Crashes {
+		if sc.Crash == nil {
+			return fmt.Errorf("fuzz: snapshot crash record %#x has no report", sc.Hash)
+		}
+		f.crashes[sc.Hash] = &CrashRec{Crash: sc.Crash, Input: sc.Input, Count: sc.Count, FoundAt: sc.FoundAt}
+	}
+	f.bugs = make(map[string]*CrashRec, len(snap.Bugs))
+	for _, sc := range snap.Bugs {
+		if sc.Crash == nil {
+			return fmt.Errorf("fuzz: snapshot bug record %q has no report", sc.Key)
+		}
+		f.bugs[sc.Key] = &CrashRec{Crash: sc.Crash, Input: sc.Input, Count: sc.Count, FoundAt: sc.FoundAt}
+	}
+	f.faults = append([]InternalFault(nil), snap.Faults...)
+	f.stats = snap.Stats
+	f.history = append([]HistPoint(nil), snap.History...)
+
+	// The dictionary (user tokens plus cmplog-derived auto-tokens) is
+	// restored wholesale: token order matters because havoc picks
+	// tokens by index.
+	f.mut.dict = nil
+	f.dictSeen = make(map[string]bool, len(snap.Dict))
+	for _, tok := range snap.Dict {
+		t := append([]byte(nil), tok...)
+		f.mut.dict = append(f.mut.dict, t)
+		f.dictSeen[string(t)] = true
+	}
+
+	if snap.CycleLen > len(f.queue) || snap.NextIndex > snap.CycleLen || snap.NextIndex < 0 {
+		return fmt.Errorf("fuzz: snapshot cycle position %d/%d inconsistent with queue of %d", snap.NextIndex, snap.CycleLen, len(f.queue))
+	}
+	f.pendingFavored = snap.PendingFavored
+	f.midCycle = snap.MidCycle
+	f.qi, f.qlen = snap.NextIndex, snap.CycleLen
+	f.sampleEvery, f.nextSample = snap.SampleEvery, snap.NextSample
+	f.samplingRestored = snap.SampleEvery > 0
+
+	f.rngSrc.skipTo(snap.RNGDraws)
+	return nil
+}
+
+// Faults returns the recorded internal-fault records (copies).
+func (f *Fuzzer) Faults() []InternalFault {
+	return append([]InternalFault(nil), f.faults...)
+}

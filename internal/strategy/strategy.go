@@ -109,6 +109,29 @@ func Run(name Name, prog *cfg.Program, cfgr Config) (*Outcome, error) {
 	return nil, &UnknownNameError{Name: name}
 }
 
+// SingleConfig maps a single-phase configuration name to the feedback
+// and profile it runs with. ok is false for round-based drivers (cull,
+// cull_r, opp, interleave), which spawn multiple fuzzer instances and
+// are therefore not resumable as one durable campaign; package campaign
+// uses this to decide whether a configuration supports checkpointing.
+func SingleConfig(name Name) (fb instrument.Feedback, profile fuzz.Profile, ok bool) {
+	switch name {
+	case Path:
+		return instrument.FeedbackPath, fuzz.ProfileAFLPlusPlus, true
+	case PCGuard:
+		return instrument.FeedbackEdge, fuzz.ProfileAFLPlusPlus, true
+	case PathAFL:
+		return instrument.FeedbackPathAFL, fuzz.ProfileAFL, true
+	case AFL:
+		return instrument.FeedbackEdge, fuzz.ProfileAFL, true
+	case Path2:
+		return instrument.FeedbackPath2, fuzz.ProfileAFLPlusPlus, true
+	case Selective:
+		return instrument.FeedbackSelective, fuzz.ProfileAFLPlusPlus, true
+	}
+	return 0, 0, false
+}
+
 // UnknownNameError reports an unrecognised configuration name.
 type UnknownNameError struct{ Name Name }
 

@@ -57,6 +57,12 @@ type Limits struct {
 	// MaxCmpObs caps recorded comparison observations per execution
 	// (the cmplog-lite channel).
 	MaxCmpObs int
+	// InjectPanicAtStep, when positive, makes the interpreter panic once
+	// the step counter reaches it. It exists solely for the campaign
+	// durability fault-injection tests, which use it to simulate an
+	// interpreter defect mid-execution; the fuzz loop must quarantine
+	// the panic instead of dying.
+	InjectPanicAtStep int64
 }
 
 // DefaultLimits returns the limits used across the evaluation. The
@@ -218,6 +224,9 @@ func (x *exec) call(f *cfg.Func, args []int64, callPos lang.Pos) (int64, *Crash)
 		x.steps++
 		if x.steps > x.lim.MaxSteps {
 			return 0, x.crash(KindTimeout, blk.Term.Pos, "step budget exhausted")
+		}
+		if x.lim.InjectPanicAtStep > 0 && x.steps >= x.lim.InjectPanicAtStep {
+			panic("vm: injected fault at step " + itoa(x.steps))
 		}
 		switch blk.Term.Kind {
 		case TermJmpAlias:
