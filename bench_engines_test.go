@@ -1,0 +1,255 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/coverage"
+	"repro/internal/fuzz"
+	"repro/internal/instrument"
+	"repro/internal/strategy"
+	"repro/internal/subjects"
+	"repro/internal/vm"
+)
+
+// Engine comparison benchmarks: the reference interpreter vs the
+// compiled bytecode engine on identical work. BenchmarkEngineExec
+// measures bare execution throughput (one seed input, path feedback);
+// BenchmarkEngineCampaign measures end-to-end campaign throughput
+// (mutation, classification, and queue bookkeeping included).
+// TestWriteBenchPR2 freezes both into BENCH_PR2.json.
+
+// engineExecSubjects are the per-subject execution benches; a spread of
+// control-flow shapes (parser-heavy, loop-heavy, call-heavy).
+var engineExecSubjects = []string{"cflow", "flvmeta", "lame", "jq", "sqlite3"}
+
+// engineCampaignBudget is the per-iteration campaign budget. Large
+// enough that steady-state execution dominates setup, small enough for
+// a CI smoke run at -benchtime 1x.
+const engineCampaignBudget = 30000
+
+func benchInput(sub *subjects.Subject) []byte {
+	if len(sub.Seeds) > 0 {
+		return sub.Seeds[0]
+	}
+	return []byte("seed")
+}
+
+func BenchmarkEngineExec(b *testing.B) {
+	for _, name := range engineExecSubjects {
+		sub := subjects.Get(name)
+		prog, err := sub.Program()
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := benchInput(sub)
+		b.Run(name+"/interp", func(b *testing.B) {
+			m := coverage.NewMap(1 << 13)
+			tr, err := instrument.New(instrument.FeedbackPath, prog, m, instrument.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lim := vm.DefaultLimits()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				vm.Run(prog, "main", in, tr, lim)
+			}
+		})
+		b.Run(name+"/bytecode", func(b *testing.B) {
+			cp, ok := instrument.CompiledFor(instrument.FeedbackPath, prog, instrument.Config{})
+			if !ok {
+				b.Fatal("no lowering for path feedback")
+			}
+			m := coverage.NewMap(1 << 13)
+			mach := bytecode.NewMachine(cp, m, vm.DefaultLimits())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				mach.Run("main", in)
+			}
+		})
+	}
+}
+
+// engineCampaign runs one fixed-budget path-feedback campaign per
+// iteration and reports execs/sec.
+func engineCampaign(b *testing.B, subject string, engine fuzz.Engine) {
+	b.Helper()
+	sub := subjects.Get(subject)
+	prog, err := sub.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var execs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := strategy.Run(strategy.Path, prog, strategy.Config{
+			Opts:   fuzz.Options{Seed: int64(i + 1), MapSize: 1 << 13, Engine: engine},
+			Budget: engineCampaignBudget,
+			Seeds:  sub.Seeds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		execs += out.Report.Stats.Execs
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(execs)/s, "execs/s")
+	}
+}
+
+func BenchmarkEngineCampaign(b *testing.B) {
+	for _, subject := range []string{"cflow", "lame", "flvmeta"} {
+		b.Run(subject+"/interp", func(b *testing.B) { engineCampaign(b, subject, fuzz.EngineInterp) })
+		b.Run(subject+"/bytecode", func(b *testing.B) { engineCampaign(b, subject, fuzz.EngineAuto) })
+	}
+}
+
+// benchPR2 is the persisted schema of BENCH_PR2.json.
+type benchPR2 struct {
+	Note     string                  `json:"note"`
+	Exec     map[string]benchPR2Exec `json:"exec"`
+	Campaign map[string]benchPR2Camp `json:"campaign"`
+}
+
+type benchPR2Exec struct {
+	InterpNsPerExec    float64 `json:"interp_ns_per_exec"`
+	BytecodeNsPerExec  float64 `json:"bytecode_ns_per_exec"`
+	Speedup            float64 `json:"speedup"`
+	InterpAllocsExec   float64 `json:"interp_allocs_per_exec"`
+	BytecodeAllocsExec float64 `json:"bytecode_allocs_per_exec"`
+}
+
+type benchPR2Camp struct {
+	InterpExecsPerSec   float64 `json:"interp_execs_per_sec"`
+	BytecodeExecsPerSec float64 `json:"bytecode_execs_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// medianNs runs bench three times and returns the median ns/op plus
+// the allocs/op (deterministic across runs): on a single-core CI
+// machine one sample can misstate a ratio by 30%+.
+func medianNs(bench func(b *testing.B)) (float64, int64) {
+	var ns []float64
+	var allocs int64
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(bench)
+		ns = append(ns, float64(r.NsPerOp()))
+		allocs = r.AllocsPerOp()
+	}
+	sort.Float64s(ns)
+	return ns[1], allocs
+}
+
+// TestWriteBenchPR2 regenerates BENCH_PR2.json. It is gated behind
+// WRITE_BENCH_PR2=1 because it runs minutes of benchmarks:
+//
+//	WRITE_BENCH_PR2=1 go test -run TestWriteBenchPR2 -timeout 30m .
+func TestWriteBenchPR2(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_PR2") == "" {
+		t.Skip("set WRITE_BENCH_PR2=1 to regenerate BENCH_PR2.json")
+	}
+	out := benchPR2{
+		Note:     "median of 3; single-core hosts show ±25% run-to-run variance. Regenerate with: WRITE_BENCH_PR2=1 go test -run TestWriteBenchPR2 -timeout 30m .",
+		Exec:     map[string]benchPR2Exec{},
+		Campaign: map[string]benchPR2Camp{},
+	}
+	for _, name := range engineExecSubjects {
+		sub := subjects.Get(name)
+		prog, err := sub.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := benchInput(sub)
+		lim := vm.DefaultLimits()
+
+		iNs, iAllocs := medianNs(func(b *testing.B) {
+			m := coverage.NewMap(1 << 13)
+			tr, err := instrument.New(instrument.FeedbackPath, prog, m, instrument.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				vm.Run(prog, "main", in, tr, lim)
+			}
+		})
+		bNs, bAllocs := medianNs(func(b *testing.B) {
+			cp, _ := instrument.CompiledFor(instrument.FeedbackPath, prog, instrument.Config{})
+			m := coverage.NewMap(1 << 13)
+			mach := bytecode.NewMachine(cp, m, lim)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				mach.Run("main", in)
+			}
+		})
+		e := benchPR2Exec{
+			InterpNsPerExec:    iNs,
+			BytecodeNsPerExec:  bNs,
+			InterpAllocsExec:   float64(iAllocs),
+			BytecodeAllocsExec: float64(bAllocs),
+		}
+		if e.BytecodeNsPerExec > 0 {
+			e.Speedup = e.InterpNsPerExec / e.BytecodeNsPerExec
+		}
+		out.Exec[name] = e
+		t.Logf("exec %-10s interp %.0f ns  bytecode %.0f ns  speedup %.2fx  allocs %v -> %v",
+			name, e.InterpNsPerExec, e.BytecodeNsPerExec, e.Speedup, iAllocs, bAllocs)
+	}
+
+	campaignRate := func(subject string, engine fuzz.Engine) float64 {
+		sub := subjects.Get(subject)
+		prog, err := sub.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, _ := medianNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := strategy.Run(strategy.Path, prog, strategy.Config{
+					Opts:   fuzz.Options{Seed: int64(i + 1), MapSize: 1 << 13, Engine: engine},
+					Budget: engineCampaignBudget,
+					Seeds:  sub.Seeds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if ns > 0 {
+			return float64(engineCampaignBudget) * 1e9 / ns
+		}
+		return 0
+	}
+	for _, subject := range []string{"cflow", "lame", "flvmeta"} {
+		c := benchPR2Camp{
+			InterpExecsPerSec:   campaignRate(subject, fuzz.EngineInterp),
+			BytecodeExecsPerSec: campaignRate(subject, fuzz.EngineAuto),
+		}
+		if c.InterpExecsPerSec > 0 {
+			c.Speedup = c.BytecodeExecsPerSec / c.InterpExecsPerSec
+		}
+		out.Campaign[subject] = c
+		t.Logf("campaign %-10s interp %.0f execs/s  bytecode %.0f execs/s  speedup %.2fx",
+			subject, c.InterpExecsPerSec, c.BytecodeExecsPerSec, c.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR2.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_PR2.json")
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/evalharness"
+	"repro/internal/fuzz"
 	"repro/internal/strategy"
 )
 
@@ -32,8 +33,19 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-campaign progress")
 		fig2Sub   = flag.String("fig2-subject", "lame", "subject for the Figure 2 series")
 		stateDir  = flag.String("state", "", "persist finished runs here; a restarted suite reloads them instead of recomputing")
+		engineF   = flag.String("engine", "bytecode", "execution engine: bytecode|interp")
 	)
 	flag.Parse()
+
+	engine := fuzz.EngineAuto
+	switch *engineF {
+	case "bytecode", "auto", "":
+	case "interp", "interpreter":
+		engine = fuzz.EngineInterp
+	default:
+		fmt.Fprintf(os.Stderr, "evalsuite: unknown -engine %q (want bytecode or interp)\n", *engineF)
+		os.Exit(1)
+	}
 
 	cfg := evalharness.Config{
 		Runs:        *runs,
@@ -41,6 +53,7 @@ func main() {
 		RoundBudget: *round,
 		BaseSeed:    *seed,
 		StateDir:    *stateDir,
+		Engine:      engine,
 	}
 	if *subjectsF != "" {
 		cfg.Subjects = strings.Split(*subjectsF, ",")

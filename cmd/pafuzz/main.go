@@ -51,8 +51,15 @@ func main() {
 		ckptEvery   = flag.Int64("ckpt-every", 25000, "executions between periodic checkpoints")
 		list        = flag.Bool("list", false, "list benchmark subjects and exit")
 		showCrash   = flag.Bool("crashes", false, "print full reports for unique crashes")
+		engineName  = flag.String("engine", "bytecode", "execution engine: bytecode|interp (bytecode falls back to interp for feedbacks without a lowering)")
+		statusEvery = flag.Int64("status-every", 50000, "executions between status lines (0 disables)")
 	)
 	flag.Parse()
+
+	engine, engErr := parseEngineFlag(*engineName)
+	if engErr != nil {
+		fatalf("%v", engErr)
+	}
 
 	if *list {
 		for _, s := range subjects.All() {
@@ -65,7 +72,7 @@ func main() {
 		if *stateDir == "" {
 			fatalf("-resume requires -o <state dir>")
 		}
-		resumeCampaign(*stateDir, *ckptEvery, *showCrash)
+		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery)
 		return
 	}
 
@@ -127,6 +134,12 @@ func main() {
 				Seed:            *seed,
 				Entry:           target.Entry,
 				KeepCrashInputs: true,
+				Engine:          engine,
+				Status:          os.Stderr,
+				StatusEvery:     *statusEvery,
+			}
+			if *statusEvery <= 0 {
+				opts.Status = nil
 			}
 			r := campaign.NewRunner(*stateDir, campaign.Config{Interval: *ckptEvery, Log: os.Stderr})
 			if err := r.Start(target.Prog, opts, meta, seeds); err != nil {
@@ -143,14 +156,20 @@ func main() {
 		}
 	}
 
-	out, err := target.Fuzz(core.Campaign{
+	camp := core.Campaign{
 		Fuzzer:          strategy.Name(*fuzzerName),
 		Budget:          *budget,
 		RoundBudget:     *roundBudget,
 		Seeds:           seeds,
 		Seed:            *seed,
 		KeepCrashInputs: *stateDir != "",
-	})
+		Engine:          engine,
+		StatusEvery:     *statusEvery,
+	}
+	if *statusEvery > 0 {
+		camp.Status = os.Stderr
+	}
+	out, err := target.Fuzz(camp)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -165,7 +184,7 @@ func main() {
 // resumeCampaign reloads the newest valid checkpoint under dir,
 // reconstructs the target from its metadata, and runs the campaign to
 // completion (or the next interruption).
-func resumeCampaign(dir string, ckptEvery int64, showCrash bool) {
+func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Engine, statusEvery int64) {
 	ck, warns, err := campaign.LoadLatest(campaign.OSFS{}, dir)
 	for _, w := range warns {
 		warnf("%s", w)
@@ -208,6 +227,10 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool) {
 	if !ok {
 		fatalf("checkpointed configuration %q is not resumable", meta.Fuzzer)
 	}
+	// The engine is not part of campaign state: the bytecode engine is
+	// observationally identical to the interpreter (the differential
+	// tests enforce this), so a campaign checkpointed under one engine
+	// resumes deterministically under either.
 	opts := fuzz.Options{
 		Feedback:        fb,
 		Profile:         profile,
@@ -215,6 +238,11 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool) {
 		MapSize:         meta.MapSize,
 		Entry:           meta.Entry,
 		KeepCrashInputs: true,
+		Engine:          engine,
+		StatusEvery:     statusEvery,
+	}
+	if statusEvery > 0 {
+		opts.Status = os.Stderr
 	}
 	r := campaign.NewRunner(dir, campaign.Config{Interval: ckptEvery, Log: os.Stderr})
 	if err := r.Attach(target.Prog, opts, ck); err != nil {
@@ -301,6 +329,20 @@ func printReport(fuzzerName string, rep *fuzz.Report, rounds int, showCrash bool
 			fmt.Printf("\n%s\n  input: %q\n", rec.Crash, rec.Input)
 		}
 	}
+}
+
+// parseEngineFlag maps the -engine flag to a fuzz.Engine. "bytecode"
+// (the default) selects the compiled engine, falling back to the
+// reference interpreter for feedbacks without a lowering; "interp"
+// forces the interpreter everywhere.
+func parseEngineFlag(s string) (fuzz.Engine, error) {
+	switch s {
+	case "bytecode", "auto", "":
+		return fuzz.EngineAuto, nil
+	case "interp", "interpreter":
+		return fuzz.EngineInterp, nil
+	}
+	return fuzz.EngineAuto, fmt.Errorf("unknown -engine %q (want bytecode or interp)", s)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,101 @@
+package bytecode_test
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/coverage"
+	"repro/internal/instrument"
+	"repro/internal/vm"
+)
+
+// straightSrc exercises arithmetic, comparisons (cmp-observation
+// recording), array loads, allocation, and output — every pooled
+// resource in the machine — without loops or recursion.
+const straightSrc = `
+func main(input) {
+    var n = len(input);
+    var a = alloc(8);
+    var x = 0;
+    if (n > 2) {
+        x = input[0] + input[1] * input[2];
+    }
+    a[0] = x;
+    a[1] = x / 3;
+    a[2] = x % 5;
+    a[3] = min(x, 100);
+    a[4] = max(x, -100);
+    a[5] = abs(0 - x);
+    out(a[0]);
+    out(a[5]);
+    return a[0] ^ a[1] ^ a[2] ^ a[3] ^ a[4] ^ a[5];
+}
+`
+
+// TestZeroAllocSteadyState is the acceptance criterion for the pooled
+// machine: after one warmup execution, running the straight-line
+// program allocates nothing — for every supported feedback, map reset
+// included.
+func TestZeroAllocSteadyState(t *testing.T) {
+	prog, err := cfg.Compile(straightSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("zero-alloc probe")
+	for _, fb := range allFeedbacks {
+		cp, ok := instrument.CompiledFor(fb, prog, instrument.Config{})
+		if !ok {
+			t.Fatalf("no lowering for %v", fb)
+		}
+		m := coverage.NewMap(1 << 12)
+		mach := bytecode.NewMachine(cp, m, vm.DefaultLimits())
+		run := func() {
+			m.Reset()
+			r := mach.Run("main", in)
+			if r.Status != vm.StatusOK {
+				t.Fatalf("%v: status %v", fb, r.Status)
+			}
+		}
+		run() // warmup: grows the pools to their high-water marks
+		if avg := testing.AllocsPerRun(200, run); avg != 0 {
+			t.Errorf("%v: %v allocs/exec in steady state, want 0", fb, avg)
+		}
+	}
+}
+
+// TestZeroAllocWithCalls extends the steady-state guarantee to call
+// frames: recursion up to a fixed depth must also be allocation-free
+// once the slot stack has grown.
+func TestZeroAllocWithCalls(t *testing.T) {
+	const src = `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main(input) {
+    var n = 10;
+    if (len(input) > 0) { n = input[0] % 15; }
+    return fib(abs(n));
+}
+`
+	prog, err := cfg.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := instrument.CompiledFor(instrument.FeedbackPath, prog, instrument.Config{})
+	if !ok {
+		t.Fatal("no lowering for path feedback")
+	}
+	m := coverage.NewMap(1 << 12)
+	mach := bytecode.NewMachine(cp, m, vm.DefaultLimits())
+	in := []byte{14}
+	run := func() {
+		m.Reset()
+		mach.Run("main", in)
+	}
+	run()
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Errorf("%v allocs/exec with recursion, want 0", avg)
+	}
+}

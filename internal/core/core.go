@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/balllarus"
 	"repro/internal/cfg"
@@ -73,6 +74,14 @@ type Campaign struct {
 	// KeepCrashInputs retains the first crashing input per unique crash,
 	// so callers can save or replay them.
 	KeepCrashInputs bool
+	// Engine selects the execution engine (fuzz.EngineAuto by default:
+	// the compiled bytecode engine with interpreter fallback).
+	Engine fuzz.Engine
+	// Status, when non-nil, receives periodic one-line campaign status
+	// (engine, execs/sec, queue, coverage).
+	Status io.Writer
+	// StatusEvery is the execution interval between status lines.
+	StatusEvery int64
 }
 
 // Outcome re-exports the strategy outcome.
@@ -96,6 +105,9 @@ func (t *Target) Fuzz(c Campaign) (*Outcome, error) {
 			Entry:           t.Entry,
 			Limits:          c.Limits,
 			KeepCrashInputs: c.KeepCrashInputs,
+			Engine:          c.Engine,
+			Status:          c.Status,
+			StatusEvery:     c.StatusEvery,
 		},
 		Budget:      c.Budget,
 		RoundBudget: c.RoundBudget,

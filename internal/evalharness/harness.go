@@ -50,6 +50,9 @@ type Config struct {
 	// FS is the filesystem used for durable state (default campaign.OSFS;
 	// tests inject fault filesystems).
 	FS campaign.FS
+	// Engine selects the execution engine for every campaign
+	// (fuzz.EngineAuto by default: bytecode with interpreter fallback).
+	Engine fuzz.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -246,6 +249,7 @@ func runOne(cfg Config, subject string, f strategy.Name, run int) (*RunResult, e
 			Seed:    cfg.BaseSeed + int64(run)*7919,
 			MapSize: cfg.MapSize,
 			Limits:  vm.DefaultLimits(),
+			Engine:  cfg.Engine,
 		},
 		Budget:      cfg.Budget,
 		RoundBudget: cfg.RoundBudget,

@@ -3,11 +3,26 @@ package fuzz
 import (
 	"sort"
 
+	"repro/internal/bytecode"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/instrument"
 	"repro/internal/vm"
 )
+
+// edgeRunner returns an exec function replaying inputs under exact
+// edge instrumentation into m. It runs on the bytecode engine (the
+// compilation is cached process-wide), with the tracer interpreter as
+// the defensive fallback; both are differentially identical, so corpus
+// replay tooling is engine-agnostic.
+func edgeRunner(prog *cfg.Program, m *coverage.Map, entry string, limits vm.Limits) func(in []byte) vm.Result {
+	if cp, ok := instrument.CompiledFor(instrument.FeedbackEdge, prog, instrument.Config{}); ok {
+		mach := bytecode.NewMachine(cp, m, limits)
+		return func(in []byte) vm.Result { return mach.Run(entry, in) }
+	}
+	tr := instrument.NewEdgeTracer(prog, m)
+	return func(in []byte) vm.Result { return vm.Run(prog, entry, in, tr, limits) }
+}
 
 // edgeMapSize returns the smallest power-of-two map that gives every
 // CFG edge of prog a collision-free identity.
@@ -34,11 +49,11 @@ func ShowMap(prog *cfg.Program, inputs [][]byte, entry string, limits vm.Limits)
 		limits = vm.DefaultLimits()
 	}
 	m := coverage.NewMap(edgeMapSize(prog))
-	tr := instrument.NewEdgeTracer(prog, m)
+	run := edgeRunner(prog, m, entry, limits)
 	covered := make(map[uint32]bool)
 	for _, in := range inputs {
 		m.Reset()
-		vm.Run(prog, entry, in, tr, limits)
+		run(in)
 		for _, idx := range m.Indices() {
 			covered[idx] = true
 		}
@@ -59,7 +74,7 @@ func MinimizeCorpus(prog *cfg.Program, inputs [][]byte, entry string, limits vm.
 		limits = vm.DefaultLimits()
 	}
 	m := coverage.NewMap(edgeMapSize(prog))
-	tr := instrument.NewEdgeTracer(prog, m)
+	run := edgeRunner(prog, m, entry, limits)
 
 	type cand struct {
 		pos   int
@@ -71,7 +86,7 @@ func MinimizeCorpus(prog *cfg.Program, inputs [][]byte, entry string, limits vm.
 	topRated := make(map[uint32]int) // edge id -> index into cands
 	for pos, in := range inputs {
 		m.Reset()
-		res := vm.Run(prog, entry, in, tr, limits)
+		res := run(in)
 		if res.Status != vm.StatusOK {
 			continue
 		}
@@ -147,7 +162,7 @@ func MinimizeCorpusExact(prog *cfg.Program, inputs [][]byte, entry string, limit
 		limits = vm.DefaultLimits()
 	}
 	m := coverage.NewMap(edgeMapSize(prog))
-	tr := instrument.NewEdgeTracer(prog, m)
+	run := edgeRunner(prog, m, entry, limits)
 
 	type cand struct {
 		data []byte
@@ -156,7 +171,7 @@ func MinimizeCorpusExact(prog *cfg.Program, inputs [][]byte, entry string, limit
 	var cands []cand
 	for _, in := range inputs {
 		m.Reset()
-		res := vm.Run(prog, entry, in, tr, limits)
+		res := run(in)
 		if res.Status != vm.StatusOK {
 			continue
 		}

@@ -13,14 +13,59 @@ package fuzz
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
+	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/instrument"
 	"repro/internal/vm"
 )
+
+// Engine selects the execution engine for a campaign.
+type Engine int
+
+// Engines.
+const (
+	// EngineAuto (the default) runs the compiled bytecode engine when
+	// the selected feedback has a lowering, and falls back to the
+	// reference interpreter for the extension feedbacks that do not.
+	EngineAuto Engine = iota
+	// EngineBytecode requires the bytecode engine; New fails when the
+	// feedback has no lowering.
+	EngineBytecode
+	// EngineInterp forces the reference CFG-walking interpreter.
+	EngineInterp
+)
+
+// String names the engine selection.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineBytecode:
+		return "bytecode"
+	case EngineInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "bytecode":
+		return EngineBytecode, nil
+	case "interp", "interpreter":
+		return EngineInterp, nil
+	}
+	return EngineAuto, fmt.Errorf("fuzz: unknown engine %q (want auto, bytecode, or interp)", s)
+}
 
 // Profile selects the base-fuzzer capability set.
 type Profile int
@@ -67,6 +112,15 @@ type Options struct {
 	// for the campaign durability fault-injection tests; see also
 	// vm.Limits.InjectPanicAtStep for panics injected mid-execution.
 	FaultInjector func(execs int64, data []byte) bool
+	// Engine selects the execution engine (EngineAuto by default: the
+	// compiled bytecode engine with interpreter fallback).
+	Engine Engine
+	// Status, when non-nil, receives a periodic one-line campaign status
+	// (engine, execs/sec, queue, coverage, crashes).
+	Status io.Writer
+	// StatusEvery is the execution interval between status lines
+	// (default 50000 when Status is set).
+	StatusEvery int64
 }
 
 func (o Options) withDefaults() Options {
@@ -163,10 +217,14 @@ type InternalFault struct {
 
 // Fuzzer is one fuzzing campaign instance.
 type Fuzzer struct {
-	prog   *cfg.Program
-	opts   Options
-	rng    *rand.Rand
+	prog *cfg.Program
+	opts Options
+	rng  *rand.Rand
+	// Exactly one of tracer/mach drives executions: mach is the compiled
+	// bytecode engine (probes inlined, no tracer), tracer the reference
+	// interpreter's instrumentation callback.
 	tracer vm.Tracer
+	mach   *bytecode.Machine
 	cov    *coverage.Map
 	virgin *coverage.Virgin
 	// crashVirgin implements AFL's crash-uniqueness criterion.
@@ -195,6 +253,11 @@ type Fuzzer struct {
 
 	dictSeen map[string]bool
 
+	// scratch is the reusable candidate buffer of the cmplog stage
+	// (substitution and resize variants); every retention path copies,
+	// so the buffer is recycled across variants.
+	scratch []byte
+
 	// rngSrc is the counting source behind rng; snapshots record its
 	// draw count so a resumed campaign can fast-forward a fresh source
 	// to the exact same stream position.
@@ -215,6 +278,11 @@ type Fuzzer struct {
 	// deterministic safe point where full state can be snapshotted.
 	// Returning false stops Fuzz early (graceful shutdown).
 	hook func(*Fuzzer) bool
+
+	// Status-line pacing (display only; never feeds back into campaign
+	// state, so determinism is unaffected).
+	statusAt    time.Time
+	statusExecs int64
 }
 
 // New constructs a fuzzer for prog.
@@ -224,9 +292,21 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		return nil, fmt.Errorf("fuzz: program has no entry function %q", opts.Entry)
 	}
 	m := coverage.NewMap(opts.MapSize)
-	tr, err := instrument.New(opts.Feedback, prog, m, opts.Instr)
-	if err != nil {
-		return nil, err
+	var mach *bytecode.Machine
+	if opts.Engine != EngineInterp {
+		if cp, ok := instrument.CompiledFor(opts.Feedback, prog, opts.Instr); ok {
+			mach = bytecode.NewMachine(cp, m, opts.Limits)
+		} else if opts.Engine == EngineBytecode {
+			return nil, fmt.Errorf("fuzz: feedback %v has no bytecode lowering (use -engine=interp or auto)", opts.Feedback)
+		}
+	}
+	var tr vm.Tracer
+	if mach == nil {
+		var err error
+		tr, err = instrument.New(opts.Feedback, prog, m, opts.Instr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	src := newCountingSource(opts.Seed)
 	f := &Fuzzer{
@@ -235,6 +315,7 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		rng:         rand.New(src),
 		rngSrc:      src,
 		tracer:      tr,
+		mach:        mach,
 		cov:         m,
 		virgin:      coverage.NewVirgin(opts.MapSize),
 		crashVirgin: coverage.NewVirgin(opts.MapSize),
@@ -305,7 +386,18 @@ func (f *Fuzzer) runProtected(data []byte) (res vm.Result, faultMsg string, ok b
 	if inj := f.opts.FaultInjector; inj != nil && inj(f.stats.Execs, data) {
 		panic("fuzz: injected execution fault")
 	}
+	if f.mach != nil {
+		return f.mach.Run(f.opts.Entry, data), "", true
+	}
 	return vm.Run(f.prog, f.opts.Entry, data, f.tracer, f.opts.Limits), "", true
+}
+
+// EngineName reports which execution engine the campaign runs on.
+func (f *Fuzzer) EngineName() string {
+	if f.mach != nil {
+		return "bytecode"
+	}
+	return "interp"
 }
 
 // recordFault quarantines one interpreter panic as an internal-fault
@@ -616,6 +708,9 @@ func (f *Fuzzer) Fuzz(budget int64) {
 				f.sample()
 				f.nextSample += f.sampleEvery
 			}
+			if f.opts.Status != nil {
+				f.maybeStatus()
+			}
 			if f.hook != nil && !f.hook(f) {
 				return
 			}
@@ -626,6 +721,30 @@ func (f *Fuzzer) Fuzz(budget int64) {
 		}
 	}
 	f.sample()
+}
+
+// maybeStatus emits the periodic status line: engine, execution count,
+// measured execs/sec over the last interval, and campaign counters.
+func (f *Fuzzer) maybeStatus() {
+	every := f.opts.StatusEvery
+	if every <= 0 {
+		every = 50000
+	}
+	if f.statusAt.IsZero() {
+		f.statusAt, f.statusExecs = time.Now(), f.stats.Execs
+		return
+	}
+	if f.stats.Execs-f.statusExecs < every {
+		return
+	}
+	now := time.Now()
+	rate := 0.0
+	if dt := now.Sub(f.statusAt).Seconds(); dt > 0 {
+		rate = float64(f.stats.Execs-f.statusExecs) / dt
+	}
+	fmt.Fprintf(f.opts.Status, "[pafuzz] engine=%s execs=%d rate=%.0f/s queue=%d cov=%d crashes=%d bugs=%d\n",
+		f.EngineName(), f.stats.Execs, rate, len(f.queue), f.coveredCount(), f.stats.CrashExecs, len(f.bugs))
+	f.statusAt, f.statusExecs = now, f.stats.Execs
 }
 
 func (f *Fuzzer) sample() {
@@ -679,6 +798,12 @@ func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
 	if f.opts.Profile == ProfileAFL {
 		return
 	}
+	if f.mach != nil && len(cmps) > 0 {
+		// The bytecode machine's Result.Cmps aliases its pooled buffer,
+		// which the executions this stage performs would clobber mid-walk;
+		// snapshot it first.
+		cmps = append([]vm.CmpObs(nil), cmps...)
+	}
 	attempts := 0
 	const maxAttempts = 48
 	for _, obs := range cmps {
@@ -686,8 +811,8 @@ func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
 			continue
 		}
 		// Auto-dictionary: constants under comparison become tokens.
-		f.addToken(encodeMin(obs.A))
-		f.addToken(encodeMin(obs.B))
+		f.addTokenVal(obs.A)
+		f.addTokenVal(obs.B)
 		for _, dir := range [2][2]int64{{obs.A, obs.B}, {obs.B, obs.A}} {
 			if attempts >= maxAttempts {
 				return
@@ -706,7 +831,7 @@ func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
 }
 
 func (f *Fuzzer) tryResize(e *Entry, n int) {
-	data := make([]byte, n)
+	data := f.scratchBuf(n)
 	copy(data, e.Data)
 	for i := len(e.Data); i < n; i++ {
 		data[i] = byte(f.rng.Intn(256))
@@ -715,11 +840,21 @@ func (f *Fuzzer) tryResize(e *Entry, n int) {
 	f.processNew(data, out, e.Depth+1)
 }
 
+// scratchBuf returns the pooled cmplog candidate buffer resized to n;
+// contents are unspecified and callers overwrite every byte they use.
+func (f *Fuzzer) scratchBuf(n int) []byte {
+	if cap(f.scratch) < n {
+		f.scratch = make([]byte, 0, n*2)
+	}
+	return f.scratch[:n]
+}
+
 // trySubstitute searches the 1/2/4/8-byte little- and big-endian
 // encodings of find in the input and replaces them with repl, executing
 // each variant. It returns the number of executions spent.
 func (f *Fuzzer) trySubstitute(e *Entry, find, repl int64, allow int) int {
 	spent := 0
+	var feBuf, reBuf [8]byte
 	for _, w := range []int{1, 2, 4, 8} {
 		if spent >= allow {
 			return spent
@@ -727,21 +862,22 @@ func (f *Fuzzer) trySubstitute(e *Entry, find, repl int64, allow int) int {
 		if !fitsWidth(find, w) || !fitsWidth(repl, w) {
 			continue
 		}
-		fe := encodeWidth(find, w, false)
-		re := encodeWidth(repl, w, false)
+		fe := encodeWidthTo(&feBuf, find, w, false)
+		re := encodeWidthTo(&reBuf, repl, w, false)
 		for _, be := range []bool{false, true} {
 			if w == 1 && be {
 				continue
 			}
 			if be {
-				fe = encodeWidth(find, w, true)
-				re = encodeWidth(repl, w, true)
+				fe = encodeWidthTo(&feBuf, find, w, true)
+				re = encodeWidthTo(&reBuf, repl, w, true)
 			}
 			for p := 0; p+w <= len(e.Data) && spent < allow; p++ {
 				if !bytesEq(e.Data[p:p+w], fe) {
 					continue
 				}
-				data := append([]byte(nil), e.Data...)
+				data := f.scratchBuf(len(e.Data))
+				copy(data, e.Data)
 				copy(data[p:], re)
 				out := f.execute(data)
 				f.processNew(data, out, e.Depth+1)
@@ -777,29 +913,47 @@ func fitsWidth(v int64, w int) bool {
 	}
 }
 
-func encodeWidth(v int64, w int, bigEndian bool) []byte {
-	var buf [8]byte
+// encodeWidthTo writes the w-byte encoding of v into buf and returns
+// the filled prefix; the hot cmplog paths use it to stay off the heap.
+func encodeWidthTo(buf *[8]byte, v int64, w int, bigEndian bool) []byte {
 	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	out := append([]byte(nil), buf[:w]...)
+	out := buf[:w]
 	if bigEndian {
-		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		for i, j := 0, w-1; i < j; i, j = i+1, j-1 {
 			out[i], out[j] = out[j], out[i]
 		}
 	}
 	return out
 }
 
+func encodeWidth(v int64, w int, bigEndian bool) []byte {
+	var buf [8]byte
+	return append([]byte(nil), encodeWidthTo(&buf, v, w, bigEndian)...)
+}
+
+// minWidth is the fewest bytes that hold v, for dictionary tokens.
+func minWidth(v int64) int {
+	switch {
+	case v >= 0 && v <= 255:
+		return 1
+	case v >= -32768 && v <= 65535:
+		return 2
+	case v >= -2147483648 && v <= 4294967295:
+		return 4
+	default:
+		return 8
+	}
+}
+
 // encodeMin encodes v in the fewest bytes that hold it (little-endian),
 // for dictionary tokens.
 func encodeMin(v int64) []byte {
-	switch {
-	case v >= 0 && v <= 255:
-		return []byte{byte(v)}
-	case v >= -32768 && v <= 65535:
-		return encodeWidth(v, 2, false)
-	case v >= -2147483648 && v <= 4294967295:
-		return encodeWidth(v, 4, false)
-	default:
-		return encodeWidth(v, 8, false)
-	}
+	return encodeWidth(v, minWidth(v), false)
+}
+
+// addTokenVal feeds v's minimal encoding to the auto-dictionary without
+// allocating; addToken copies on actual insertion.
+func (f *Fuzzer) addTokenVal(v int64) {
+	var buf [8]byte
+	f.addToken(encodeWidthTo(&buf, v, minWidth(v), false))
 }

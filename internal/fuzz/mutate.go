@@ -21,6 +21,14 @@ type mutator struct {
 	// rich enables the AFL++-profile extras (dictionary ops, wide
 	// interesting values); the plain-AFL profile runs without them.
 	rich bool
+	// buf and spl are reusable candidate buffers: havoc builds its
+	// output in buf and splice assembles the merged parent in spl, so
+	// the steady-state fuzzing loop allocates nothing per candidate.
+	// A returned candidate aliases buf and is valid only until the
+	// next havoc/splice call; every retention path (queue, crash
+	// records, cmplog) copies.
+	buf []byte
+	spl []byte
 }
 
 func (m *mutator) randLen(max int) int {
@@ -49,9 +57,13 @@ func minInt(a, b int) int {
 	return b
 }
 
-// havoc applies a random stack of mutations to a copy of data.
+// havoc applies a random stack of mutations to a copy of data. The
+// result aliases the mutator's pooled buffer.
 func (m *mutator) havoc(data []byte) []byte {
-	out := make([]byte, len(data), len(data)+64)
+	if need := len(data) + 64; cap(m.buf) < need {
+		m.buf = make([]byte, 0, need*2)
+	}
+	out := m.buf[:len(data)]
 	copy(out, data)
 	stack := 1 << (1 + m.rng.Intn(6)) // 2..64 stacked ops
 	for i := 0; i < stack; i++ {
@@ -63,6 +75,7 @@ func (m *mutator) havoc(data []byte) []byte {
 	if len(out) == 0 {
 		out = append(out, byte(m.rng.Intn(256)))
 	}
+	m.buf = out[:0] // recapture a buffer grown by append
 	return out
 }
 
@@ -74,8 +87,10 @@ func (m *mutator) splice(data, other []byte) []byte {
 	}
 	cutA := m.rng.Intn(len(data))
 	cutB := m.rng.Intn(len(other))
-	merged := make([]byte, 0, cutA+len(other)-cutB)
-	merged = append(merged, data[:cutA]...)
+	if need := cutA + len(other) - cutB; cap(m.spl) < need {
+		m.spl = make([]byte, 0, need*2)
+	}
+	merged := append(m.spl[:0], data[:cutA]...)
 	merged = append(merged, other[cutB:]...)
 	if len(merged) > m.maxLen {
 		merged = merged[:m.maxLen]
@@ -168,7 +183,7 @@ func (m *mutator) one(out []byte) []byte {
 	case 14: // insert dictionary token (rich profile)
 		if tok := m.token(); tok != nil {
 			p := m.rng.Intn(len(out) + 1)
-			out = append(out[:p], append(append([]byte{}, tok...), out[p:]...)...)
+			out = insertAt(out, p, tok)
 		}
 	}
 	return out
@@ -196,7 +211,8 @@ func (m *mutator) insertRandom(out []byte) []byte {
 func (m *mutator) insertBlock(out []byte) []byte {
 	l := m.randLen(32)
 	p := m.rng.Intn(len(out) + 1)
-	block := make([]byte, l)
+	var blockArr [32]byte
+	block := blockArr[:l]
 	switch m.rng.Intn(4) {
 	case 0, 1: // clone from the input itself
 		if len(out) > 0 {
@@ -215,6 +231,15 @@ func (m *mutator) insertBlock(out []byte) []byte {
 			block[i] = byte(m.rng.Intn(256))
 		}
 	}
-	out = append(out[:p], append(block, out[p:]...)...)
+	return insertAt(out, p, block)
+}
+
+// insertAt inserts blk into out at p using only out's own growth; blk
+// must not alias out.
+func insertAt(out []byte, p int, blk []byte) []byte {
+	n := len(out)
+	out = append(out, blk...)
+	copy(out[p+len(blk):], out[p:n])
+	copy(out[p:], blk)
 	return out
 }

@@ -1,0 +1,39 @@
+package subjects_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/subjects"
+)
+
+// TestProgramMemoized asserts each subject is parsed and lowered once
+// per process: every Program() call — including concurrent ones —
+// returns the identical *cfg.Program pointer. The bytecode compile
+// cache keys on this pointer, so stability here is what makes "compile
+// once, fuzz forever" hold end to end.
+func TestProgramMemoized(t *testing.T) {
+	for _, sub := range subjects.All() {
+		first, err := sub.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", sub.Name, err)
+		}
+		var wg sync.WaitGroup
+		ptrs := make([]*cfg.Program, 8)
+		for i := range ptrs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p, _ := sub.Program()
+				ptrs[i] = p
+			}(i)
+		}
+		wg.Wait()
+		for i, p := range ptrs {
+			if p != first {
+				t.Fatalf("%s: Program() call %d returned a different pointer", sub.Name, i)
+			}
+		}
+	}
+}
