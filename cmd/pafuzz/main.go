@@ -29,6 +29,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fuzz"
+	"repro/internal/instrument"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
 )
@@ -53,8 +54,16 @@ func main() {
 		showCrash   = flag.Bool("crashes", false, "print full reports for unique crashes")
 		engineName  = flag.String("engine", "bytecode", "execution engine: bytecode|interp (bytecode falls back to interp for feedbacks without a lowering)")
 		statusEvery = flag.Int64("status-every", 50000, "executions between status lines (0 disables)")
+		analysisLvl = flag.String("analysis", "", "static-analysis strictness: strict runs the IR and bytecode verifiers on every compile (default off)")
+		opt         = flag.Bool("opt", true, "enable verified bytecode optimization passes (constant folding, dead code)")
+		reach       = flag.Bool("reach", false, "boost power-schedule energy by static crash-site reachability")
 	)
 	flag.Parse()
+
+	if *analysisLvl != "" && *analysisLvl != "strict" {
+		fatalf("unknown -analysis level %q (want strict or empty)", *analysisLvl)
+	}
+	icfg := instrument.Config{Analysis: *analysisLvl, NoOpt: !*opt}
 
 	engine, engErr := parseEngineFlag(*engineName)
 	if engErr != nil {
@@ -135,6 +144,8 @@ func main() {
 				Entry:           target.Entry,
 				KeepCrashInputs: true,
 				Engine:          engine,
+				Instr:           icfg,
+				ReachBoost:      *reach,
 				Status:          os.Stderr,
 				StatusEvery:     *statusEvery,
 			}
@@ -164,6 +175,8 @@ func main() {
 		Seed:            *seed,
 		KeepCrashInputs: *stateDir != "",
 		Engine:          engine,
+		Instr:           icfg,
+		ReachBoost:      *reach,
 		StatusEvery:     *statusEvery,
 	}
 	if *statusEvery > 0 {

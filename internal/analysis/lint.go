@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	// Check is the rule that fired: unreachable, const-branch,
+	// guaranteed-fault, or unused-var.
+	Check string
+	Func  string
+	Pos   lang.Pos
+	Msg   string
+}
+
+// String formats the finding as line:col: [check] msg (func name).
+func (fd Finding) String() string {
+	return fmt.Sprintf("%d:%d: [%s] %s (func %s)", fd.Pos.Line, fd.Pos.Col, fd.Check, fd.Msg, fd.Func)
+}
+
+// Lint runs the palint checks over one MiniC program: AST-level
+// unreachable statements and unused variables, plus interval-analysis
+// checks over the lowered CFG (always-true/false branches on derived
+// conditions, interval-unreachable code, and guaranteed faults:
+// division by zero, out-of-bounds indexing, negative allocation,
+// failing asserts).
+//
+// Conditions and assertions that are literal constants in the source
+// (while (1), assert(0)) are deliberate idioms and are not reported;
+// only conditions the programmer probably did not know were constant
+// are. Every check is conservative: a finding means the defect holds
+// on every execution that reaches it, so the existing benchmark
+// subjects — whose planted bugs are all input-dependent — must produce
+// zero findings.
+func Lint(ast *lang.Program, prog *cfg.Program) []Finding {
+	var out []Finding
+	for _, fd := range ast.Funcs {
+		out = append(out, lintUnreachableStmts(fd)...)
+		out = append(out, lintUnusedVars(fd)...)
+	}
+	for _, f := range prog.Funcs {
+		out = append(out, lintIntervals(f)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Col < out[j].Pos.Col
+	})
+	return out
+}
+
+// stmtTerminates reports whether s never falls through to the next
+// statement: return/break/continue, an if whose arms both terminate,
+// or a call to the never-returning abort builtin.
+func stmtTerminates(s lang.Stmt) bool {
+	switch s := s.(type) {
+	case *lang.ReturnStmt, *lang.BreakStmt, *lang.ContinueStmt:
+		return true
+	case *lang.ExprStmt:
+		if call, ok := s.X.(*lang.CallExpr); ok && call.Name == "abort" {
+			return true
+		}
+	case *lang.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return blockTerminates(s.Then) && stmtTerminates(s.Else)
+	case *lang.BlockStmt:
+		return blockTerminates(s)
+	}
+	return false
+}
+
+func blockTerminates(b *lang.BlockStmt) bool {
+	for _, s := range b.Stmts {
+		if stmtTerminates(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintUnreachableStmts flags statements following a terminating
+// statement in the same block (one finding per block, to avoid
+// cascades).
+func lintUnreachableStmts(fd *lang.FuncDecl) []Finding {
+	var out []Finding
+	var walkBlock func(b *lang.BlockStmt)
+	var walkStmt func(s lang.Stmt)
+	walkBlock = func(b *lang.BlockStmt) {
+		for i, s := range b.Stmts {
+			if stmtTerminates(s) && i+1 < len(b.Stmts) {
+				out = append(out, Finding{
+					Check: "unreachable",
+					Func:  fd.Name,
+					Pos:   b.Stmts[i+1].NodePos(),
+					Msg:   "unreachable code (preceding statement never falls through)",
+				})
+				// Still walk the dead region's children, then stop
+				// reporting in this block.
+				for _, d := range b.Stmts[i+1:] {
+					walkStmt(d)
+				}
+				walkStmt(s)
+				return
+			}
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			walkBlock(s)
+		case *lang.IfStmt:
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *lang.WhileStmt:
+			walkBlock(s.Body)
+		case *lang.ForStmt:
+			walkBlock(s.Body)
+		}
+	}
+	walkBlock(fd.Body)
+	return out
+}
+
+// pureExpr reports whether evaluating e has no observable effect:
+// no allocation, no call, no memory access, no faultable operator.
+// Only a pure initializer makes deleting an unused declaration
+// provably behavior-preserving.
+func pureExpr(e lang.Expr) bool {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return true
+	case *lang.Ident:
+		return true
+	case *lang.UnaryExpr:
+		return pureExpr(e.X)
+	case *lang.BinaryExpr:
+		if e.Op == lang.SLASH || e.Op == lang.PCT {
+			return false // may fault on zero divisor
+		}
+		return pureExpr(e.X) && pureExpr(e.Y)
+	}
+	return false
+}
+
+// lintUnusedVars flags variables that are declared but never read.
+// Assignments alone do not count as uses. Parameters are exempt, as
+// are names declared more than once in the function (shadowing makes
+// name-based attribution ambiguous) and declarations whose initializer
+// is impure — `var name = input[pos];` consumes a format byte even if
+// the name is never read again, so only effect-free declarations are
+// certainly dead.
+func lintUnusedVars(fd *lang.FuncDecl) []Finding {
+	decls := map[string][]*lang.VarStmt{}
+	reads := map[string]bool{}
+	params := map[string]bool{}
+	for _, p := range fd.Params {
+		params[p] = true
+	}
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Ident:
+			reads[e.Name] = true
+		case *lang.IndexExpr:
+			walkExpr(e.X)
+			walkExpr(e.Idx)
+		case *lang.CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *lang.UnaryExpr:
+			walkExpr(e.X)
+		case *lang.BinaryExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		}
+	}
+	var walkStmt func(s lang.Stmt)
+	walkBlock := func(b *lang.BlockStmt) {
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.VarStmt:
+			if !params[s.Name] && (s.Init == nil || pureExpr(s.Init)) {
+				decls[s.Name] = append(decls[s.Name], s)
+			}
+			if s.Init != nil {
+				walkExpr(s.Init)
+			}
+		case *lang.AssignStmt:
+			walkExpr(s.Val)
+		case *lang.StoreStmt:
+			reads[s.Name] = true // indexing reads the array handle
+			walkExpr(s.Idx)
+			walkExpr(s.Val)
+		case *lang.IfStmt:
+			walkExpr(s.Cond)
+			walkBlock(s.Then)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *lang.WhileStmt:
+			walkExpr(s.Cond)
+			walkBlock(s.Body)
+		case *lang.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond)
+			}
+			if s.Post != nil {
+				walkStmt(s.Post)
+			}
+			walkBlock(s.Body)
+		case *lang.ReturnStmt:
+			if s.Val != nil {
+				walkExpr(s.Val)
+			}
+		case *lang.ExprStmt:
+			walkExpr(s.X)
+		case *lang.BlockStmt:
+			walkBlock(s)
+		}
+	}
+	walkBlock(fd.Body)
+	var out []Finding
+	for name, sites := range decls {
+		if len(sites) != 1 || reads[name] {
+			continue
+		}
+		out = append(out, Finding{
+			Check: "unused-var",
+			Func:  fd.Name,
+			Pos:   sites[0].Pos,
+			Msg:   fmt.Sprintf("variable %q is declared but never read", name),
+		})
+	}
+	return out
+}
+
+// literalConst reports whether slot s is last written in blk (before
+// instruction limit) by a plain OpConst — the lowering of a literal in
+// the source, whose constancy the programmer chose deliberately.
+func literalConst(blk *cfg.Block, limit, s int) bool {
+	lit := false
+	for i := 0; i < limit && i < len(blk.Instrs); i++ {
+		in := &blk.Instrs[i]
+		if InstrDef(in) == s {
+			lit = in.Op == cfg.OpConst
+		}
+	}
+	return lit
+}
+
+// lintIntervals runs the interval analysis over one lowered function
+// and reports guaranteed faults, decided branch conditions, and
+// interval-unreachable blocks.
+func lintIntervals(f *cfg.Func) []Finding {
+	ii := IntervalsOf(f)
+	var out []Finding
+	env := newEnv(f.FrameSize)
+	for b := range f.Blocks {
+		blk := &f.Blocks[b]
+		if !ii.Reached[b] {
+			// Only user code: skip bare structural blocks (e.g. the
+			// implicit return block after an infinite loop).
+			if len(blk.Instrs) > 0 {
+				out = append(out, Finding{
+					Check: "unreachable",
+					Func:  f.Name,
+					Pos:   blk.Instrs[0].Pos,
+					Msg:   "unreachable code (no feasible path from function entry)",
+				})
+			}
+			continue
+		}
+		env.copyFrom(&ii.In[b])
+		faulted := false
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			fault := ii.stepInstr(&env, in)
+			if fault == "" {
+				continue
+			}
+			faulted = true
+			// abort() and literal assert(0) are deliberate; everything
+			// else is a guaranteed fault worth reporting.
+			deliberate := fault == "abort" ||
+				(in.Op == cfg.OpBuiltin && in.Callee == cfg.BAssert &&
+					len(in.Args) > 0 && literalConst(blk, i, in.Args[0]))
+			if !deliberate {
+				out = append(out, Finding{
+					Check: "guaranteed-fault",
+					Func:  f.Name,
+					Pos:   in.Pos,
+					Msg:   fmt.Sprintf("%s on every execution reaching this point", fault),
+				})
+			}
+			break
+		}
+		if faulted || blk.Term.Kind != cfg.TermBr {
+			continue
+		}
+		cond := env.Val[blk.Term.Cond]
+		if literalConst(blk, len(blk.Instrs), blk.Term.Cond) {
+			continue // while (1) / if (0): deliberate idioms
+		}
+		switch {
+		case cond == (Interval{0, 0}):
+			out = append(out, Finding{
+				Check: "const-branch",
+				Func:  f.Name,
+				Pos:   blk.Term.Pos,
+				Msg:   "branch condition is always false",
+			})
+		case !cond.IsBottom() && !cond.Contains(0):
+			out = append(out, Finding{
+				Check: "const-branch",
+				Func:  f.Name,
+				Pos:   blk.Term.Pos,
+				Msg:   "branch condition is always true",
+			})
+		}
+	}
+	return out
+}

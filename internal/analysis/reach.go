@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+// Site is one static crash site: an instruction that can fault at run
+// time (out-of-bounds load/store, checked division/modulo, assert,
+// abort, allocation).
+type Site struct {
+	Fn    int
+	Block int
+	Instr int
+	Kind  string
+	Pos   lang.Pos
+}
+
+// siteKind classifies in as a potential crash site ("" when it cannot
+// fault).
+func siteKind(in *cfg.Instr) string {
+	switch in.Op {
+	case cfg.OpLoad:
+		return "load"
+	case cfg.OpStore:
+		return "store"
+	case cfg.OpBin:
+		if in.Sub == lang.SLASH || in.Sub == lang.PCT {
+			return "div"
+		}
+	case cfg.OpBuiltin:
+		switch in.Callee {
+		case cfg.BAssert:
+			return "assert"
+		case cfg.BAbort:
+			return "abort"
+		case cfg.BAlloc:
+			return "alloc"
+		}
+	}
+	return ""
+}
+
+// CrashSites enumerates the crash sites of f (fn is the function index
+// recorded in the sites).
+func CrashSites(fn int, f *cfg.Func) []Site {
+	var out []Site
+	for b := range f.Blocks {
+		for i := range f.Blocks[b].Instrs {
+			if k := siteKind(&f.Blocks[b].Instrs[i]); k != "" {
+				out = append(out, Site{Fn: fn, Block: b, Instr: i, Kind: k, Pos: f.Blocks[b].Instrs[i].Pos})
+			}
+		}
+	}
+	return out
+}
+
+// Reach is the whole-program crash-site reachability analysis: for
+// every basic block, the set of static crash sites reachable from its
+// start, following CFG successors within a function and entering
+// callees at call instructions (a PrescientFuzz-style "how much danger
+// lies past this point" metric). The fuzzer's power schedule uses the
+// counts to favour frontier inputs whose coverage borders many
+// unexplored crash sites.
+type Reach struct {
+	prog *cfg.Program
+	// sites is the global crash-site table; siteID orders it.
+	sites []Site
+	// blockSet[fn][b] is the bitset (over sites) reachable from the
+	// start of block b of function fn.
+	blockSet [][]BitSet
+	// counts caches popcounts of blockSet.
+	counts [][]int
+}
+
+// NewReach computes the reachability closure (a fixpoint over the call
+// graph, so recursion and loops are handled).
+func NewReach(p *cfg.Program) *Reach {
+	r := &Reach{prog: p}
+	// Global site numbering, per (fn, block, instr).
+	siteAt := make([]map[[2]int]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		siteAt[fi] = make(map[[2]int]int)
+		for _, s := range CrashSites(fi, f) {
+			siteAt[fi][[2]int{s.Block, s.Instr}] = len(r.sites)
+			r.sites = append(r.sites, s)
+		}
+	}
+	n := len(r.sites)
+	r.blockSet = make([][]BitSet, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		r.blockSet[fi] = make([]BitSet, len(f.Blocks))
+		for b := range f.Blocks {
+			r.blockSet[fi][b] = NewBitSet(n)
+		}
+	}
+	// Fixpoint: a block reaches its own sites, its callees' entry sets,
+	// and everything its successors reach. Iterate functions until the
+	// whole program stabilises (callee entry sets grow monotonically).
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range p.Funcs {
+			// Within a function, propagate in reverse RPO so intra-
+			// procedural chains settle in one sweep.
+			rpo := ReversePostorder(f)
+			for i := len(rpo) - 1; i >= 0; i-- {
+				b := rpo[i]
+				set := r.blockSet[fi][b]
+				blk := &f.Blocks[b]
+				for ii := range blk.Instrs {
+					in := &blk.Instrs[ii]
+					if id, ok := siteAt[fi][[2]int{b, ii}]; ok {
+						if !set.Has(id) {
+							set.Set(id)
+							changed = true
+						}
+					}
+					if in.Op == cfg.OpCall && in.Callee >= 0 && in.Callee < len(p.Funcs) {
+						callee := p.Funcs[in.Callee]
+						if len(callee.Blocks) > 0 && set.UnionWith(r.blockSet[in.Callee][callee.Entry()]) {
+							changed = true
+						}
+					}
+				}
+				for _, e := range f.Successors(b) {
+					if set.UnionWith(r.blockSet[fi][f.Edges[e].To]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	r.counts = make([][]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		r.counts[fi] = make([]int, len(f.Blocks))
+		for b := range f.Blocks {
+			n := 0
+			for _, w := range r.blockSet[fi][b] {
+				for ; w != 0; w &= w - 1 {
+					n++
+				}
+			}
+			r.counts[fi][b] = n
+		}
+	}
+	return r
+}
+
+// NumSites returns the program's total crash-site count.
+func (r *Reach) NumSites() int { return len(r.sites) }
+
+// Sites returns the global crash-site table.
+func (r *Reach) Sites() []Site { return r.sites }
+
+// Block returns the number of crash sites reachable from the start of
+// block b of function fn.
+func (r *Reach) Block(fn, b int) int { return r.counts[fn][b] }
+
+// Func returns the number of crash sites reachable from fn's entry.
+func (r *Reach) Func(fn int) int {
+	if len(r.counts[fn]) == 0 {
+		return 0
+	}
+	return r.counts[fn][r.prog.Funcs[fn].Entry()]
+}

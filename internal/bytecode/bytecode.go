@@ -95,6 +95,17 @@ type Spec struct {
 	NGram int
 	// Segment bounds hashed path-segment length for ProbePathAFL.
 	Segment int
+	// Opt enables the IR optimization passes (constant folding,
+	// dead-store elimination) and lowering-time branch folding and
+	// dead-block elimination. All passes preserve observational
+	// equivalence with the reference interpreter, including exact step
+	// counts and coverage bytes.
+	Opt bool
+	// Verify runs the IR verifier after every optimization pass and the
+	// bytecode structural verifier after lowering and fusion; a
+	// violation fails compilation with a diagnostic naming the
+	// function, block, and invariant.
+	Verify bool
 	// Fns has one entry per program function.
 	Fns []FnSpec
 }

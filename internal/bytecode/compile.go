@@ -1,6 +1,7 @@
 package bytecode
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/lang"
 )
@@ -15,12 +16,49 @@ import (
 // conditional branches each probed edge gets a small trampoline
 // (probes + opJmp) so the branch pays nothing for the untaken side,
 // and edges with no probes are branched to directly.
+//
+// Compile panics when spec.Verify detects an invariant violation; that
+// only happens when an optimization or lowering pass is broken, so
+// callers that want the error instead use CompileChecked.
 func Compile(prog *cfg.Program, spec Spec) *Program {
+	p, err := CompileChecked(prog, spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileChecked is Compile returning verification failures as errors.
+// With spec.Opt set, each function is rewritten by the optimization
+// passes (constant folding, dead-store elimination) before lowering,
+// and decided branches/interval-unreachable blocks are folded away at
+// lowering time. With spec.Verify set, the IR verifier runs after every
+// optimization pass and the bytecode structural verifier runs after
+// lowering and again after fusion.
+func CompileChecked(prog *cfg.Program, spec Spec) (*Program, error) {
 	c := &compiler{
-		out: &Program{src: prog, spec: spec, fns: make([]fnInfo, len(prog.Funcs))},
+		out:     &Program{src: prog, spec: spec, fns: make([]fnInfo, len(prog.Funcs))},
+		layouts: make([]fnLayout, len(prog.Funcs)),
 	}
 	for fi, f := range prog.Funcs {
-		c.fn(fi, f, c.fnSpec(fi))
+		lf := f
+		var ii *analysis.Intervals
+		if spec.Opt {
+			var err error
+			lf, ii, err = optimizeFunc(f, spec.Verify)
+			if err != nil {
+				return nil, err
+			}
+		}
+		c.fn(fi, lf, c.fnSpec(fi), ii)
+	}
+	if spec.Verify {
+		if err := c.verify(); err != nil {
+			return nil, err
+		}
+	}
+	for fi := range prog.Funcs {
+		c.fuse(int(c.out.fns[fi].entryPC), int(c.layouts[fi].end))
 	}
 	// With every entry point final, fold ProbePath's entry push into
 	// the calls themselves (the entry function still executes its own
@@ -33,11 +71,31 @@ func Compile(prog *cfg.Program, spec Spec) *Program {
 			}
 		}
 	}
-	return c.out
+	if spec.Verify {
+		if err := c.verifyFused(); err != nil {
+			return nil, err
+		}
+	}
+	return c.out, nil
 }
 
 type compiler struct {
 	out *Program
+	// layouts records, per function, where its blocks and trampolines
+	// landed — the bytecode verifier's ground truth for jump targets.
+	layouts []fnLayout
+}
+
+// fnLayout is the code-layout record of one lowered function.
+type fnLayout struct {
+	// blockStart is the pc of each basic block (-1 when the block was
+	// eliminated as interval-unreachable).
+	blockStart []int32
+	// trampStart lists the pcs of the conditional-branch probe
+	// trampolines emitted after the function body.
+	trampStart []int32
+	// end is one past the function's last instruction.
+	end int32
 }
 
 func (c *compiler) fnSpec(fi int) FnSpec {
@@ -62,7 +120,68 @@ type brPend struct {
 	thenEdge, elseEdge   int
 }
 
-func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec) {
+// foldedBr reports whether blk's conditional branch is decided by the
+// interval analysis — exactly one outgoing edge feasible — returning
+// the taken edge index and target block. A block whose every outgoing
+// edge is infeasible (it faults before its terminator) is lowered as a
+// normal branch: it never executes past the fault, and keeping both
+// targets avoids dangling references.
+func foldedBr(blk *cfg.Block, ii *analysis.Intervals) (edge, target int, ok bool) {
+	if ii == nil {
+		return 0, 0, false
+	}
+	tf, ef := ii.EdgeFeasible[blk.EdgeThen], ii.EdgeFeasible[blk.EdgeElse]
+	switch {
+	case tf && !ef:
+		return blk.EdgeThen, blk.Term.Then, true
+	case ef && !tf:
+		return blk.EdgeElse, blk.Term.Else, true
+	}
+	return 0, 0, false
+}
+
+// lowerReach decides which blocks get lowered: without interval
+// analysis, all of them; otherwise the closure of the entry under the
+// control flow the lowering will actually emit (folded branches follow
+// only their taken side). By construction this is exactly the set of
+// blocks an emitted terminator can reference, so eliminated blocks are
+// never jump targets.
+func lowerReach(f *cfg.Func, ii *analysis.Intervals) []bool {
+	reach := make([]bool, len(f.Blocks))
+	if ii == nil {
+		for b := range reach {
+			reach[b] = true
+		}
+		return reach
+	}
+	stack := []int{0}
+	reach[0] = true
+	push := func(b int) {
+		if !reach[b] {
+			reach[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blk := &f.Blocks[b]
+		switch blk.Term.Kind {
+		case cfg.TermJmp:
+			push(blk.Term.Then)
+		case cfg.TermBr:
+			if _, target, ok := foldedBr(blk, ii); ok {
+				push(target)
+			} else {
+				push(blk.Term.Then)
+				push(blk.Term.Else)
+			}
+		}
+	}
+	return reach
+}
+
+func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec, ii *analysis.Intervals) {
 	out := c.out
 	out.fns[fi] = fnInfo{
 		name:      f.Name,
@@ -73,11 +192,18 @@ func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec) {
 	}
 	c.emitEnterProbes(fs)
 
+	lower := lowerReach(f, ii)
 	blockStart := make([]int32, len(f.Blocks))
 	var jmps []jmpFix
 	var brs []brPend
 	for b := range f.Blocks {
 		blk := &f.Blocks[b]
+		if !lower[b] {
+			// Dead-block elimination: no feasible path reaches b, so no
+			// lowered terminator references it and no code is emitted.
+			blockStart[b] = -1
+			continue
+		}
 		blockStart[b] = int32(len(out.code))
 		for i := range blk.Instrs {
 			c.instr(&blk.Instrs[i])
@@ -89,12 +215,21 @@ func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec) {
 			jmps = append(jmps, jmpFix{pc: len(out.code), block: blk.Term.Then})
 			c.emit(instr{op: opJmp}, blk.Term.Pos)
 		case cfg.TermBr:
-			brs = append(brs, brPend{
-				pc:        len(out.code),
-				thenBlock: blk.Term.Then, elseBlock: blk.Term.Else,
-				thenEdge: blk.EdgeThen, elseEdge: blk.EdgeElse,
-			})
-			c.emit(instr{op: opBr, a: int32(blk.Term.Cond)}, blk.Term.Pos)
+			if e, target, ok := foldedBr(blk, ii); ok {
+				// Branch folding: the untaken side is infeasible, so the
+				// branch lowers like an unconditional jump, taken-edge
+				// probes inlined (the same events fire in the same order).
+				c.emitEdgeProbes(f, fs, e, blk.Term.Pos)
+				jmps = append(jmps, jmpFix{pc: len(out.code), block: target})
+				c.emit(instr{op: opJmp}, blk.Term.Pos)
+			} else {
+				brs = append(brs, brPend{
+					pc:        len(out.code),
+					thenBlock: blk.Term.Then, elseBlock: blk.Term.Else,
+					thenEdge: blk.EdgeThen, elseEdge: blk.EdgeElse,
+				})
+				c.emit(instr{op: opBr, a: int32(blk.Term.Cond)}, blk.Term.Pos)
+			}
 		case cfg.TermRet:
 			c.emitRetProbes(fs, b, blk.Term.Pos)
 			c.emit(instr{op: opRet, a: int32(blk.Term.Val)}, blk.Term.Pos)
@@ -103,16 +238,21 @@ func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec) {
 
 	// Conditional-branch targets: trampolines are appended after the
 	// function body, so block starts are final by now.
+	var tramps []int32
 	for _, br := range brs {
-		thenPC := c.edgeTarget(f, fs, br.thenEdge, blockStart[br.thenBlock])
-		elsePC := c.edgeTarget(f, fs, br.elseEdge, blockStart[br.elseBlock])
+		thenPC := c.edgeTarget(f, fs, br.thenEdge, blockStart[br.thenBlock], &tramps)
+		elsePC := c.edgeTarget(f, fs, br.elseEdge, blockStart[br.elseBlock], &tramps)
 		out.code[br.pc].b = thenPC
 		out.code[br.pc].dst = elsePC
 	}
 	for _, j := range jmps {
 		out.code[j.pc].a = blockStart[j.block]
 	}
-	c.fuse(int(out.fns[fi].entryPC))
+	c.layouts[fi] = fnLayout{
+		blockStart: blockStart,
+		trampStart: tramps,
+		end:        int32(len(out.code)),
+	}
 }
 
 // fuse rewrites the function's code (body and trampolines, which all
@@ -124,9 +264,9 @@ func (c *compiler) fn(fi int, f *cfg.Func, fs FnSpec) {
 // or a const feeding a consumer in the same block) and a trampoline
 // start is a probe, so every head below is either not a target or the
 // first slot of its pattern.
-func (c *compiler) fuse(start int) {
+func (c *compiler) fuse(start, end int) {
 	code := c.out.code
-	for k := start; k < len(code)-1; k++ {
+	for k := start; k < end-1; k++ {
 		in, next := &code[k], &code[k+1]
 		switch in.op {
 		case opStepChk:
@@ -141,27 +281,27 @@ func (c *compiler) fuse(start int) {
 				*in = instr{op: opStepRet, a: next.a}
 				k++
 			case opProbeAdd:
-				if k+2 < len(code) && code[k+2].op == opJmp {
+				if k+2 < end && code[k+2].op == opJmp {
 					*in = instr{op: opStepAddJmp, imm: next.imm, a: code[k+2].a}
 					k += 2
 				}
 			case opProbeInc:
-				if k+2 < len(code) && code[k+2].op == opJmp {
+				if k+2 < end && code[k+2].op == opJmp {
 					*in = instr{op: opStepIncJmp, imm: next.imm, a: code[k+2].a}
 					k += 2
 				}
 			case opProbeBack:
-				if k+2 < len(code) && code[k+2].op == opJmp {
+				if k+2 < end && code[k+2].op == opJmp {
 					*in = instr{op: opStepBackJmp, a: next.a, b: next.b, imm: next.imm, dst: code[k+2].a}
 					k += 2
 				}
 			case opProbeRetPath:
-				if k+2 < len(code) && code[k+2].op == opRet {
+				if k+2 < end && code[k+2].op == opRet {
 					*in = instr{op: opStepRetPathRet, a: next.a, imm: next.imm, b: code[k+2].a}
 					k += 2
 				}
 			case opProbePAFlush:
-				if k+2 < len(code) && code[k+2].op == opRet {
+				if k+2 < end && code[k+2].op == opRet {
 					*in = instr{op: opStepFlushRet, a: code[k+2].a}
 					k += 2
 				}
@@ -186,7 +326,7 @@ func (c *compiler) fuse(start int) {
 	// Second sweep, after block exits are fused: comparisons (and the
 	// constants feeding them) folded into the opStepBr that branches
 	// on their result, plus the remaining const-feeds-consumer pairs.
-	for k := start; k < len(code)-1; k++ {
+	for k := start; k < end-1; k++ {
 		in, next := &code[k], &code[k+1]
 		switch in.op {
 		case opEq, opNe, opLt, opLe, opGt, opGe:
@@ -202,7 +342,7 @@ func (c *compiler) fuse(start int) {
 			case opEq, opNe, opLt, opLe, opGt, opGe:
 				if next.b == t && next.a != t {
 					fop = opConstEq + (next.op - opEq)
-					if k+2 < len(code) && code[k+2].op == opStepBr && code[k+2].a == next.dst {
+					if k+2 < end && code[k+2].op == opStepBr && code[k+2].a == next.dst {
 						fop = opConstEqStepBr + (next.op - opEq)
 						skip = 2
 					}
@@ -244,8 +384,9 @@ func (c *compiler) emitEdgeProbes(f *cfg.Func, fs FnSpec, e int, pos lang.Pos) {
 }
 
 // edgeTarget resolves one conditional-branch side: straight to the
-// block when the edge carries no probes, else through a trampoline.
-func (c *compiler) edgeTarget(f *cfg.Func, fs FnSpec, e int, blockPC int32) int32 {
+// block when the edge carries no probes, else through a trampoline
+// whose start is recorded in tramps for the bytecode verifier.
+func (c *compiler) edgeTarget(f *cfg.Func, fs FnSpec, e int, blockPC int32, tramps *[]int32) int32 {
 	probes := c.edgeProbes(f, fs, e)
 	if len(probes) == 0 {
 		return blockPC
@@ -256,6 +397,7 @@ func (c *compiler) edgeTarget(f *cfg.Func, fs FnSpec, e int, blockPC int32) int3
 		c.emit(p, pos)
 	}
 	c.emit(instr{op: opJmp, a: blockPC}, pos)
+	*tramps = append(*tramps, start)
 	return start
 }
 

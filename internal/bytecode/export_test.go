@@ -1,0 +1,11 @@
+package bytecode
+
+import "repro/internal/cfg"
+
+// SetTestBreakPass installs (or clears, with nil) the optimizer test
+// seam: fn runs after the named pass on every function copy, before
+// that pass's verification. Tests use it to prove the verifier catches
+// a broken pass.
+func SetTestBreakPass(fn func(pass string, f *cfg.Func)) {
+	testBreakPass = fn
+}

@@ -1,0 +1,151 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+// The optimizer rewrites each function before lowering, under a strict
+// observational-equivalence contract with the reference interpreter:
+// identical status, return value, exact step count, output, comparison
+// log, crash report, and coverage map bytes for every input. That
+// contract shapes every pass:
+//
+//   - constant folding replaces an effect-free instruction with a
+//     constant load (one counted instruction for one counted
+//     instruction, so step accounting is untouched); comparisons are
+//     never folded because both engines record every comparison, and
+//     divisions fold only when provably non-trapping;
+//   - dead-store elimination replaces a dead effect-free write with a
+//     nop rather than deleting it, preserving the step count;
+//   - branch folding and dead-block elimination happen at lowering time
+//     (see compiler.fn): the CFG edge enumeration is the contract with
+//     the coverage instrumentation, so the IR shape — blocks, edges,
+//     terminators — is never changed, only which code gets emitted.
+//
+// Each pass is gated by the IR verifier when Spec.Verify is set: a bug
+// in a pass surfaces as a compile error naming the function, block, and
+// violated invariant instead of as silently wrong execution.
+
+// testBreakPass, when non-nil, is invoked after the named pass on every
+// function copy, before that pass's verification — the seam the tests
+// use to prove the verifier catches a broken pass.
+var testBreakPass func(pass string, f *cfg.Func)
+
+// optimizeFunc returns an optimized copy of f plus the interval
+// analysis the lowering uses for branch folding and dead-block
+// elimination. The original f is never mutated. With verify set, the IR
+// verifier runs after every pass and a violation aborts compilation.
+func optimizeFunc(f *cfg.Func, verify bool) (*cfg.Func, *analysis.Intervals, error) {
+	ii := analysis.IntervalsOf(f)
+	g := cloneFunc(f)
+	passes := []struct {
+		name string
+		run  func()
+	}{
+		{"constfold", func() { constFold(g, ii) }},
+		{"deadstore", func() { deadStores(g) }},
+	}
+	for _, pass := range passes {
+		pass.run()
+		if testBreakPass != nil {
+			testBreakPass(pass.name, g)
+		}
+		if verify {
+			if err := analysis.VerifyFunc(g); err != nil {
+				return nil, nil, fmt.Errorf("bytecode optimizer: after pass %q: %w", pass.name, err)
+			}
+		}
+	}
+	return g, ii, nil
+}
+
+// cloneFunc copies f deeply enough for the passes to rewrite
+// instructions in place. Edges, BackEdge, and LoopDepth are shared:
+// the passes never change the CFG shape.
+func cloneFunc(f *cfg.Func) *cfg.Func {
+	g := *f
+	g.Blocks = make([]cfg.Block, len(f.Blocks))
+	for b := range f.Blocks {
+		g.Blocks[b] = f.Blocks[b]
+		g.Blocks[b].Instrs = append([]cfg.Instr(nil), f.Blocks[b].Instrs...)
+	}
+	return &g
+}
+
+// constFold replaces instructions whose result the interval analysis
+// proves constant (and whose evaluation is effect-free) with constant
+// loads. One counted instruction becomes one counted instruction, so
+// step accounting is preserved; downstream, the lowering's const-fusion
+// patterns get more opportunities.
+func constFold(g *cfg.Func, ii *analysis.Intervals) {
+	for b := range g.Blocks {
+		for _, fc := range ii.FoldableConsts(b) {
+			in := &g.Blocks[b].Instrs[fc.Instr]
+			*in = cfg.Instr{Op: cfg.OpConst, Pos: in.Pos, Dst: in.Dst, Imm: fc.Val}
+		}
+	}
+}
+
+// dsePure reports whether in can be dropped when its destination is
+// dead: no fault, no comparison observation, no heap effect. Allocation
+// ops (OpStr, BAlloc) stay even when dead — heap handle numbering is
+// observable through later crash reports and comparison logs.
+func dsePure(in *cfg.Instr) bool {
+	switch in.Op {
+	case cfg.OpConst, cfg.OpMove:
+		return true
+	case cfg.OpUn:
+		switch in.Sub {
+		case lang.MINUS, lang.NOT, lang.TILDE:
+			return true
+		}
+	case cfg.OpBin:
+		switch in.Sub {
+		case lang.PLUS, lang.MINUS, lang.STAR,
+			lang.AMP, lang.PIPE, lang.CARET, lang.SHL, lang.SHR:
+			return true
+		}
+	case cfg.OpBuiltin:
+		switch in.Callee {
+		case cfg.BAbs, cfg.BMin, cfg.BMax:
+			return true
+		}
+	}
+	return false
+}
+
+// deadStores replaces effect-free writes to dead slots with nops (a nop
+// still counts one step, keeping the accounting identical; the machine
+// just skips the computation and the memory write). The backward
+// in-block scan cascades: once a consumer is dead, the instructions
+// that only fed it die too.
+func deadStores(g *cfg.Func) {
+	_, liveOut := analysis.Liveness(g)
+	live := analysis.NewBitSet(g.FrameSize)
+	var buf []int
+	for b := range g.Blocks {
+		blk := &g.Blocks[b]
+		live.CopyFrom(liveOut[b])
+		for _, s := range analysis.TermUses(&blk.Term, buf[:0]) {
+			live.Set(s)
+		}
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			in := &blk.Instrs[i]
+			d := analysis.InstrDef(in)
+			if d >= 0 && !live.Has(d) && dsePure(in) {
+				*in = cfg.Instr{Op: cfg.OpNop, Pos: in.Pos}
+				continue
+			}
+			if d >= 0 {
+				live.Unset(d)
+			}
+			for _, s := range analysis.InstrUses(in, buf[:0]) {
+				live.Set(s)
+			}
+		}
+	}
+}

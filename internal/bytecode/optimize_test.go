@@ -1,0 +1,194 @@
+package bytecode_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/cfg"
+	"repro/internal/instrument"
+	"repro/internal/subjects"
+	"repro/internal/vm"
+)
+
+// TestDifferentialOptOff pins the unoptimized lowering (the ablation
+// baseline) to the reference interpreter: disabling the optimizer must
+// not change any observable either.
+func TestDifferentialOptOff(t *testing.T) {
+	for _, name := range []string{"cflow", "jq", "sqlite3"} {
+		sub := subjects.Get(name)
+		if sub == nil {
+			t.Fatalf("unknown subject %s", name)
+		}
+		prog := sub.MustProgram()
+		rng := rand.New(rand.NewSource(23))
+		inputs := subjectInputs(sub, rng, 25)
+		for _, fb := range allFeedbacks {
+			d := newDiffPair(t, prog, fb, instrument.Config{NoOpt: true}, 1<<16, vm.DefaultLimits())
+			for _, in := range inputs {
+				d.check(t, name+"/noopt/"+fb.String(), in)
+			}
+		}
+	}
+}
+
+// TestStrictVerifyAllSubjects is the acceptance check for the strict
+// analysis mode: compiling every subject under every feedback with the
+// IR verifier gating each optimization pass and the bytecode structural
+// verifier gating the lowering reports zero violations — and the
+// strict-mode build still matches the reference interpreter on live
+// inputs.
+func TestStrictVerifyAllSubjects(t *testing.T) {
+	strict := instrument.Config{Analysis: "strict"}
+	for _, sub := range subjects.All() {
+		prog, err := sub.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fb := range allFeedbacks {
+			// CompiledFor panics (via Compile) on any verifier violation.
+			if _, ok := instrument.CompiledFor(fb, prog, strict); !ok {
+				t.Fatalf("%s/%s: no bytecode lowering", sub.Name, fb)
+			}
+		}
+	}
+	// Differential spot check under strict mode.
+	sub := subjects.Get("flvmeta")
+	prog := sub.MustProgram()
+	rng := rand.New(rand.NewSource(31))
+	inputs := subjectInputs(sub, rng, 15)
+	for _, fb := range allFeedbacks {
+		d := newDiffPair(t, prog, fb, strict, 1<<16, vm.DefaultLimits())
+		for _, in := range inputs {
+			d.check(t, "strict/"+fb.String(), in)
+		}
+	}
+}
+
+// TestOptimizationShrinksCode checks the passes actually fire: a
+// program with a statically decided branch compiles to strictly less
+// code with the optimizer on, and real subjects never grow.
+func TestOptimizationShrinksCode(t *testing.T) {
+	src := `
+func main(input) {
+    var n = 10;
+    var m = n - 10;
+    var live = 0;
+    if (m) {
+        live = live + 1;
+        out(1);
+    }
+    var dead = n * 3;
+    dead = dead + 1;
+    if (len(input) > 0) {
+        live = input[0];
+    }
+    return live;
+}
+`
+	prog, err := cfg.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bytecode.Spec{Kind: bytecode.ProbeEdge, Verify: true}
+	plain, err := bytecode.CompileChecked(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Opt = true
+	opt, err := bytecode.CompileChecked(prog, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumInstrs() >= plain.NumInstrs() {
+		t.Fatalf("optimizer did not shrink decided-branch program: opt=%d plain=%d",
+			opt.NumInstrs(), plain.NumInstrs())
+	}
+	for _, sub := range subjects.All() {
+		prog, err := sub.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := bytecode.CompileChecked(prog, bytecode.Spec{Kind: bytecode.ProbeEdge, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := bytecode.CompileChecked(prog, bytecode.Spec{Kind: bytecode.ProbeEdge, Opt: true, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.NumInstrs() > plain.NumInstrs() {
+			t.Fatalf("%s: optimizer grew code: opt=%d plain=%d", sub.Name, opt.NumInstrs(), plain.NumInstrs())
+		}
+	}
+}
+
+// TestVerifierCatchesBrokenPass proves the verifier gate works end to
+// end: a deliberately broken optimization pass (injected through the
+// test seam) fails compilation with a diagnostic naming the pass, the
+// function, the block, and the violated invariant — instead of
+// producing silently wrong code.
+func TestVerifierCatchesBrokenPass(t *testing.T) {
+	prog := subjects.Get("cflow").MustProgram()
+	cases := []struct {
+		name    string
+		mutate  func(f *cfg.Func)
+		wantAll []string
+	}{
+		{
+			name: "jump-target-out-of-range",
+			mutate: func(f *cfg.Func) {
+				for b := range f.Blocks {
+					if f.Blocks[b].Term.Kind == cfg.TermJmp {
+						f.Blocks[b].Term.Then = len(f.Blocks) + 7
+						return
+					}
+				}
+			},
+			wantAll: []string{`after pass "constfold"`, `func "main"`, "block b"},
+		},
+		{
+			name: "use-before-assignment",
+			mutate: func(f *cfg.Func) {
+				bad := cfg.Instr{Op: cfg.OpMove, Dst: 0, A: f.FrameSize - 1}
+				f.Blocks[0].Instrs = append([]cfg.Instr{bad}, f.Blocks[0].Instrs...)
+			},
+			wantAll: []string{`after pass "constfold"`, `func "main"`, "block b0"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bytecode.SetTestBreakPass(func(pass string, f *cfg.Func) {
+				if pass == "constfold" && f.Name == "main" {
+					tc.mutate(f)
+				}
+			})
+			defer bytecode.SetTestBreakPass(nil)
+			_, err := bytecode.CompileChecked(prog, bytecode.Spec{Kind: bytecode.ProbeEdge, Opt: true, Verify: true})
+			if err == nil {
+				t.Fatal("broken pass compiled without a verifier diagnostic")
+			}
+			for _, want := range tc.wantAll {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("diagnostic %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+
+	// The gate is the verifier, not the lowering: the same
+	// use-before-assignment corruption with Verify off compiles without
+	// complaint (to silently wrong code — which is exactly why tests
+	// run strict).
+	bytecode.SetTestBreakPass(func(pass string, f *cfg.Func) {
+		if pass == "constfold" && f.Name == "main" {
+			bad := cfg.Instr{Op: cfg.OpMove, Dst: 0, A: f.FrameSize - 1}
+			f.Blocks[0].Instrs = append([]cfg.Instr{bad}, f.Blocks[0].Instrs...)
+		}
+	})
+	defer bytecode.SetTestBreakPass(nil)
+	if _, err := bytecode.CompileChecked(prog, bytecode.Spec{Kind: bytecode.ProbeEdge, Opt: true}); err != nil {
+		t.Fatalf("corruption rejected even with Verify off: %v", err)
+	}
+}

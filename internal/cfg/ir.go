@@ -30,6 +30,7 @@ const (
 	OpStore             // A[B] = C
 	OpCall              // Dst = call Funcs[Callee](Args...)
 	OpBuiltin           // Dst = builtin Callee applied to Args...
+	OpNop               // no operation; still charged one step
 )
 
 // Builtin identifiers for OpBuiltin's Callee field.
@@ -195,22 +196,55 @@ func (p *Program) NumBlocks() int {
 	return n
 }
 
+// String names the terminator kind.
+func (k TermKind) String() string {
+	switch k {
+	case TermJmp:
+		return "jmp"
+	case TermBr:
+		return "br"
+	case TermRet:
+		return "ret"
+	}
+	return fmt.Sprintf("term%d", int(k))
+}
+
 // String renders the function CFG in a compact textual form, mainly for
-// tests and debugging.
+// tests and debugging. Each block header carries its predecessor list
+// and terminator kind; back edges are marked on the terminator line.
 func (f *Func) String() string {
+	preds := make([][]int, len(f.Blocks))
+	for _, e := range f.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+	// back marks rendered (From, To) pairs that are loop back edges.
+	back := func(ei int) string {
+		if ei >= 0 && ei < len(f.BackEdge) && f.BackEdge[ei] {
+			return " ; back"
+		}
+		return ""
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "func %s #%d params=%d frame=%d\n", f.Name, f.ID, f.NParams, f.FrameSize)
 	for i := range f.Blocks {
 		blk := &f.Blocks[i]
-		fmt.Fprintf(&b, "  b%d:\n", i)
+		fmt.Fprintf(&b, "  b%d: ; preds=[", i)
+		for j, p := range preds[i] {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "b%d", p)
+		}
+		fmt.Fprintf(&b, "] term=%s\n", blk.Term.Kind)
 		for _, in := range blk.Instrs {
 			fmt.Fprintf(&b, "    %s\n", in.String())
 		}
 		switch blk.Term.Kind {
 		case TermJmp:
-			fmt.Fprintf(&b, "    jmp b%d\n", blk.Term.Then)
+			fmt.Fprintf(&b, "    jmp b%d%s\n", blk.Term.Then, back(blk.EdgeThen))
 		case TermBr:
-			fmt.Fprintf(&b, "    br s%d ? b%d : b%d\n", blk.Term.Cond, blk.Term.Then, blk.Term.Else)
+			fmt.Fprintf(&b, "    br s%d ? b%d : b%d%s%s\n",
+				blk.Term.Cond, blk.Term.Then, blk.Term.Else, back(blk.EdgeThen), back(blk.EdgeElse))
 		case TermRet:
 			if blk.Term.Val < 0 {
 				b.WriteString("    ret\n")
@@ -243,6 +277,8 @@ func (in *Instr) String() string {
 		return fmt.Sprintf("s%d = call #%d %v", in.Dst, in.Callee, in.Args)
 	case OpBuiltin:
 		return fmt.Sprintf("s%d = builtin#%d %v", in.Dst, in.Callee, in.Args)
+	case OpNop:
+		return "nop"
 	}
 	return fmt.Sprintf("op%d", in.Op)
 }

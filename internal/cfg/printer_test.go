@@ -23,6 +23,40 @@ func main(input) {
 	}
 }
 
+// TestFuncStringGolden pins the full rendering of a loop: predecessor
+// lists and terminator kind on each block header, and the back-edge
+// marker on the loop's closing jump.
+func TestFuncStringGolden(t *testing.T) {
+	p := compile(t, `
+func main(input) {
+    var i = 0;
+    while (i < len(input)) {
+        i = i + 1;
+    }
+    return i;
+}`)
+	want := `func main #0 params=1 frame=6
+  b0: ; preds=[] term=jmp
+    s2 = 0
+    s1 = s2
+    jmp b1
+  b1: ; preds=[b0 b2] term=br
+    s2 = builtin#0 [0]
+    s3 = s1 < s2
+    br s3 ? b2 : b3
+  b2: ; preds=[b1] term=jmp
+    s4 = 1
+    s5 = s1 + s4
+    s1 = s5
+    jmp b1 ; back
+  b3: ; preds=[b1] term=ret
+    ret s1
+`
+	if got := p.Func("main").String(); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestInstrString(t *testing.T) {
 	cases := []struct {
 		in   cfg.Instr

@@ -77,6 +77,12 @@ type Campaign struct {
 	// Engine selects the execution engine (fuzz.EngineAuto by default:
 	// the compiled bytecode engine with interpreter fallback).
 	Engine fuzz.Engine
+	// Instr tunes instrumentation construction (analysis strictness,
+	// optimizer toggle, mixing modes).
+	Instr instrument.Config
+	// ReachBoost enables the static crash-site reachability term in
+	// the power schedule.
+	ReachBoost bool
 	// Status, when non-nil, receives periodic one-line campaign status
 	// (engine, execs/sec, queue, coverage).
 	Status io.Writer
@@ -106,6 +112,8 @@ func (t *Target) Fuzz(c Campaign) (*Outcome, error) {
 			Limits:          c.Limits,
 			KeepCrashInputs: c.KeepCrashInputs,
 			Engine:          c.Engine,
+			Instr:           c.Instr,
+			ReachBoost:      c.ReachBoost,
 			Status:          c.Status,
 			StatusEvery:     c.StatusEvery,
 		},

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fuzz"
+	"repro/internal/instrument"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
 	"repro/internal/triage"
@@ -53,6 +54,9 @@ type Config struct {
 	// Engine selects the execution engine for every campaign
 	// (fuzz.EngineAuto by default: bytecode with interpreter fallback).
 	Engine fuzz.Engine
+	// Instr tunes instrumentation construction for every campaign
+	// (analysis strictness, optimizer toggle).
+	Instr instrument.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +254,7 @@ func runOne(cfg Config, subject string, f strategy.Name, run int) (*RunResult, e
 			MapSize: cfg.MapSize,
 			Limits:  vm.DefaultLimits(),
 			Engine:  cfg.Engine,
+			Instr:   cfg.Instr,
 		},
 		Budget:      cfg.Budget,
 		RoundBudget: cfg.RoundBudget,

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/bytecode"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
@@ -115,6 +116,15 @@ type Options struct {
 	// Engine selects the execution engine (EngineAuto by default: the
 	// compiled bytecode engine with interpreter fallback).
 	Engine Engine
+	// ReachBoost enables the static crash-site reachability term in
+	// the power schedule: entries whose coverage borders many
+	// statically reachable crash sites get up to twice the havoc
+	// budget (a PrescientFuzz-style prior). Only the exact-index
+	// feedbacks (edge, block, pathafl's edge component) support the
+	// map-index inversion; others silently skip the boost. The weights
+	// are recomputed from the program on resume, so checkpoints are
+	// unaffected.
+	ReachBoost bool
 	// Status, when non-nil, receives a periodic one-line campaign status
 	// (engine, execs/sec, queue, coverage, crashes).
 	Status io.Writer
@@ -251,6 +261,12 @@ type Fuzzer struct {
 	sumSteps int64
 	sumCov   int64
 
+	// reachW maps coverage-map indices to static crash-site
+	// reachability counts (Options.ReachBoost); reachMax is the
+	// program-wide maximum, the boost's normalizer.
+	reachW   []int
+	reachMax int
+
 	dictSeen map[string]bool
 
 	// scratch is the reusable candidate buffer of the cmplog stage
@@ -323,6 +339,9 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		crashes:     make(map[uint64]*CrashRec),
 		bugs:        make(map[string]*CrashRec),
 		dictSeen:    make(map[string]bool),
+	}
+	if opts.ReachBoost {
+		f.reachW, f.reachMax = reachWeights(prog, opts.Feedback, opts.MapSize)
 	}
 	f.mut = &mutator{
 		rng:    f.rng,
@@ -626,6 +645,17 @@ func (f *Fuzzer) energy(e *Entry) int {
 	if e.Handicap > 0 {
 		score *= 1.5
 	}
+	if f.reachMax > 0 {
+		// Static crash-site reachability prior: inputs whose coverage
+		// borders the most reachable danger get up to 2x budget.
+		best := 0
+		for _, i := range e.Cov {
+			if int(i) < len(f.reachW) && f.reachW[i] > best {
+				best = f.reachW[i]
+			}
+		}
+		score *= 1 + float64(best)/float64(f.reachMax)
+	}
 	limit := 512.0
 	if f.opts.Profile == ProfileAFL {
 		limit = 384
@@ -644,6 +674,53 @@ func maxF(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// reachWeights inverts the coverage-map index space back to program
+// locations and annotates each with its static crash-site reachability
+// count. Only feedbacks with exact (non-hashed) indices can be
+// inverted: edge and pathafl use index = edgeBase(fn) + e, block uses
+// index = blockBase(fn) + b, mirroring the instrument package's ID
+// assignment. For other feedbacks it returns (nil, 0), disabling the
+// boost. Colliding indices keep the larger count.
+func reachWeights(prog *cfg.Program, fb instrument.Feedback, mapSize int) ([]int, int) {
+	var edgeIndexed bool
+	switch fb {
+	case instrument.FeedbackEdge, instrument.FeedbackPathAFL:
+		edgeIndexed = true
+	case instrument.FeedbackBlock:
+		edgeIndexed = false
+	default:
+		return nil, 0
+	}
+	r := analysis.NewReach(prog)
+	w := make([]int, mapSize)
+	mask := uint32(mapSize - 1)
+	maxW := 0
+	note := func(idx uint32, c int) {
+		i := idx & mask
+		if c > w[i] {
+			w[i] = c
+		}
+		if c > maxW {
+			maxW = c
+		}
+	}
+	var base uint32
+	for fi, f := range prog.Funcs {
+		if edgeIndexed {
+			for e := range f.Edges {
+				note(base+uint32(e), r.Block(fi, f.Edges[e].To))
+			}
+			base += uint32(len(f.Edges))
+		} else {
+			for b := range f.Blocks {
+				note(base+uint32(b), r.Block(fi, b))
+			}
+			base += uint32(len(f.Blocks))
+		}
+	}
+	return w, maxW
 }
 
 // processNew enqueues a novel input produced during fuzzing.

@@ -17,6 +17,7 @@ package instrument
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/vm"
@@ -97,6 +98,19 @@ type Config struct {
 	// which FeedbackSelective falls back to edge coverage (default
 	// 256).
 	SelectiveMaxPaths int
+	// Analysis selects the static-analysis strictness. "strict" makes
+	// New verify the IR up front and makes the bytecode compiler run
+	// the IR verifier after every optimization pass plus the structural
+	// verifier after lowering and fusion; "" (the default) skips
+	// verification. Tests run strict; production fuzzing keeps it off
+	// for speed.
+	Analysis string
+	// NoOpt disables the bytecode optimization passes (constant
+	// folding, dead-store elimination, branch folding, dead-block
+	// elimination). Optimization is on by default — the differential
+	// tests pin its observational equivalence — and the flag exists for
+	// the ablation bench and debugging.
+	NoOpt bool
 }
 
 func (c Config) withDefaults() Config {
@@ -150,8 +164,15 @@ func blockBase(p *cfg.Program) []uint32 {
 }
 
 // New constructs the tracer implementing fb over prog, writing to m.
+// With cfg.Analysis set to "strict", the IR verifier runs over prog
+// first and a violation fails construction.
 func New(fb Feedback, prog *cfg.Program, m *coverage.Map, cfg Config) (vm.Tracer, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Analysis == "strict" {
+		if err := analysis.Verify(prog); err != nil {
+			return nil, err
+		}
+	}
 	switch fb {
 	case FeedbackEdge:
 		return NewEdgeTracer(prog, m), nil

@@ -35,6 +35,12 @@ func CompiledFor(fb Feedback, prog *cfg.Program, c Config) (cp *bytecode.Program
 	if !ok {
 		return nil, false
 	}
+	// Optimization is on by default; the differential tests pin its
+	// observational equivalence against the reference interpreter.
+	// Strict analysis adds the IR and bytecode verifiers to every
+	// compile.
+	spec.Opt = !c.NoOpt
+	spec.Verify = c.Analysis == "strict"
 	cp = bytecode.Compile(prog, spec)
 	if v, raced := compileCache.LoadOrStore(key, cp); raced {
 		// A concurrent caller won the store; use its program so pointer

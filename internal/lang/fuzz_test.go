@@ -44,8 +44,13 @@ func FuzzParse(f *testing.F) {
 			return
 		}
 		printed := lang.Print(prog)
-		if _, err := lang.Parse(printed); err != nil {
+		reparsed, err := lang.Parse(printed)
+		if err != nil {
 			t.Fatalf("printed program does not re-parse: %v\noriginal: %q\nprinted:\n%s", err, src, printed)
+		}
+		// Print is a fixpoint under reparse: one round canonicalises.
+		if again := lang.Print(reparsed); again != printed {
+			t.Fatalf("print not stable under reparse:\noriginal: %q\nfirst:\n%s\nsecond:\n%s", src, printed, again)
 		}
 	})
 }
