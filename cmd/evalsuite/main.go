@@ -140,6 +140,8 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if *table == 0 && *figure == 0 {
+		sr.Trajectory(out)
+		fmt.Fprintln(out)
 		sr.Summary(out)
 	}
 }

@@ -20,11 +20,14 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -32,6 +35,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
+	"repro/internal/telemetry"
 )
 
 // maxSeedFile bounds seed corpus files loaded via -i; larger files are
@@ -53,7 +57,9 @@ func main() {
 		list        = flag.Bool("list", false, "list benchmark subjects and exit")
 		showCrash   = flag.Bool("crashes", false, "print full reports for unique crashes")
 		engineName  = flag.String("engine", "bytecode", "execution engine: bytecode|interp (bytecode falls back to interp for feedbacks without a lowering)")
-		statusEvery = flag.Int64("status-every", 50000, "executions between status lines (0 disables)")
+		statusEvery = flag.Int64("status-every", 50000, "execution-count fallback between status lines (0 disables status)")
+		statusPer   = flag.Duration("status-period", time.Second, "wall-clock interval between status lines")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (Prometheus at /metrics, JSON at /snapshot.json, dashboard at /)")
 		analysisLvl = flag.String("analysis", "", "static-analysis strictness: strict runs the IR and bytecode verifiers on every compile (default off)")
 		opt         = flag.Bool("opt", true, "enable verified bytecode optimization passes (constant folding, dead code)")
 		reach       = flag.Bool("reach", false, "boost power-schedule energy by static crash-site reachability")
@@ -81,7 +87,7 @@ func main() {
 		if *stateDir == "" {
 			fatalf("-resume requires -o <state dir>")
 		}
-		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery)
+		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery, *statusPer, *metricsAddr)
 		return
 	}
 
@@ -135,8 +141,21 @@ func main() {
 	meta.Budget = *budget
 	meta.Entry = target.Entry
 
+	banner := meta.Subject
+	if banner == "" {
+		banner = filepath.Base(meta.Source)
+	}
+	banner += "/" + *fuzzerName
+
 	if *stateDir != "" {
 		if fb, profile, ok := strategy.SingleConfig(strategy.Name(*fuzzerName)); ok {
+			rec := startTelemetry(telemetry.Info{
+				Banner:   banner,
+				Feedback: *fuzzerName,
+				Seed:     *seed,
+				Budget:   *budget,
+				PID:      os.Getpid(),
+			}, *stateDir, *metricsAddr)
 			opts := fuzz.Options{
 				Feedback:        fb,
 				Profile:         profile,
@@ -147,7 +166,9 @@ func main() {
 				Instr:           icfg,
 				ReachBoost:      *reach,
 				Status:          os.Stderr,
+				StatusPeriod:    *statusPer,
 				StatusEvery:     *statusEvery,
+				Telemetry:       rec,
 			}
 			if *statusEvery <= 0 {
 				opts.Status = nil
@@ -156,7 +177,9 @@ func main() {
 			if err := r.Start(target.Prog, opts, meta, seeds); err != nil {
 				fatalf("%v", err)
 			}
+			fillEngineInfo(rec, r.Fuzzer())
 			runDurable(r, *stateDir, *fuzzerName, *showCrash)
+			closeTelemetry(rec)
 			return
 		}
 		for _, n := range strategy.AllNames {
@@ -167,6 +190,18 @@ func main() {
 		}
 	}
 
+	// Round-based configurations restart their counters every round, so
+	// only the live endpoint is offered — plot_data/fuzzer_stats (which
+	// AFL defines as monotone) are reserved for durable single-config
+	// campaigns above.
+	rec := startTelemetry(telemetry.Info{
+		Banner:   banner,
+		Engine:   engine.String(),
+		Feedback: *fuzzerName,
+		Seed:     *seed,
+		Budget:   *budget,
+		PID:      os.Getpid(),
+	}, "", *metricsAddr)
 	camp := core.Campaign{
 		Fuzzer:          strategy.Name(*fuzzerName),
 		Budget:          *budget,
@@ -177,12 +212,15 @@ func main() {
 		Engine:          engine,
 		Instr:           icfg,
 		ReachBoost:      *reach,
+		StatusPeriod:    *statusPer,
 		StatusEvery:     *statusEvery,
+		Telemetry:       rec,
 	}
 	if *statusEvery > 0 {
 		camp.Status = os.Stderr
 	}
 	out, err := target.Fuzz(camp)
+	closeTelemetry(rec)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -194,10 +232,59 @@ func main() {
 	printReport(*fuzzerName, out.Report, out.Rounds, *showCrash)
 }
 
+// startTelemetry builds the campaign's telemetry recorder: AFL-style
+// fuzzer_stats/plot_data under stateDir (when set) and the live HTTP
+// endpoint on metricsAddr (when set). Returns nil when neither output
+// is requested — the campaign then skips all telemetry work.
+func startTelemetry(info telemetry.Info, stateDir, metricsAddr string) *telemetry.Recorder {
+	if stateDir == "" && metricsAddr == "" {
+		return nil
+	}
+	rec := telemetry.New(telemetry.Config{Info: info})
+	if stateDir != "" {
+		if err := rec.AttachAFLOutput(stateDir); err != nil {
+			warnf("telemetry output: %v", err)
+		}
+	}
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			warnf("metrics endpoint: %v", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "pafuzz: serving metrics on http://%s/\n", ln.Addr())
+			go http.Serve(ln, rec.Handler())
+		}
+	}
+	rec.StartCollector(time.Second)
+	return rec
+}
+
+// fillEngineInfo completes the recorder's identity once the fuzzer is
+// built and the engine selection has resolved.
+func fillEngineInfo(rec *telemetry.Recorder, f *fuzz.Fuzzer) {
+	if rec == nil || f == nil {
+		return
+	}
+	info := rec.Info()
+	info.Engine = f.EngineName()
+	info.Instrs = f.BytecodeInstrs()
+	info.Nops = f.BytecodeNops()
+	rec.SetInfo(info)
+}
+
+func closeTelemetry(rec *telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	if err := rec.Close(); err != nil {
+		warnf("closing telemetry: %v", err)
+	}
+}
+
 // resumeCampaign reloads the newest valid checkpoint under dir,
 // reconstructs the target from its metadata, and runs the campaign to
 // completion (or the next interruption).
-func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Engine, statusEvery int64) {
+func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Engine, statusEvery int64, statusPer time.Duration, metricsAddr string) {
 	ck, warns, err := campaign.LoadLatest(campaign.OSFS{}, dir)
 	for _, w := range warns {
 		warnf("%s", w)
@@ -244,6 +331,20 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 	// observationally identical to the interpreter (the differential
 	// tests enforce this), so a campaign checkpointed under one engine
 	// resumes deterministically under either.
+	banner := meta.Subject
+	if banner == "" {
+		banner = filepath.Base(meta.Source)
+	}
+	// AttachAFLOutput (inside startTelemetry) adopts the existing
+	// plot_data's last relative_time as the elapsed base, so the resumed
+	// campaign's rows continue the original series gaplessly.
+	rec := startTelemetry(telemetry.Info{
+		Banner:   banner + "/" + meta.Fuzzer,
+		Feedback: meta.Fuzzer,
+		Seed:     meta.Seed,
+		Budget:   meta.Budget,
+		PID:      os.Getpid(),
+	}, dir, metricsAddr)
 	opts := fuzz.Options{
 		Feedback:        fb,
 		Profile:         profile,
@@ -252,7 +353,9 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 		Entry:           meta.Entry,
 		KeepCrashInputs: true,
 		Engine:          engine,
+		StatusPeriod:    statusPer,
 		StatusEvery:     statusEvery,
+		Telemetry:       rec,
 	}
 	if statusEvery > 0 {
 		opts.Status = os.Stderr
@@ -261,8 +364,10 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 	if err := r.Attach(target.Prog, opts, ck); err != nil {
 		fatalf("%v", err)
 	}
+	fillEngineInfo(rec, r.Fuzzer())
 	fmt.Printf("resuming %s campaign at %d/%d execs\n", meta.Fuzzer, r.Fuzzer().Execs(), meta.Budget)
 	runDurable(r, dir, meta.Fuzzer, showCrash)
+	closeTelemetry(rec)
 }
 
 // runDurable installs signal handling and drives a durable campaign.

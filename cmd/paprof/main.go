@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"repro/internal/core"
@@ -33,8 +34,21 @@ func main() {
 		topN        = flag.Int("top", 20, "show the N hottest paths")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		tracePath   = flag.String("trace", "", "write a runtime execution trace of the run to this file (inspect with go tool trace)")
 	)
 	flag.Parse()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fatalf("trace: %v", err)
+		}
+		defer trace.Stop()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -289,6 +289,20 @@ func (p *Program) Source() *cfg.Program { return p.src }
 // NumInstrs returns the flat instruction count (probes included).
 func (p *Program) NumInstrs() int { return len(p.code) }
 
+// NumNops returns how many instruction slots hold counted nops — dead
+// stores reclaimed by the verified optimization passes (step parity
+// forbids deleting the slots outright). Telemetry reports it next to
+// NumInstrs so optimizer effectiveness is visible per subject.
+func (p *Program) NumNops() int {
+	n := 0
+	for i := range p.code {
+		if p.code[i].op == opNop {
+			n++
+		}
+	}
+	return n
+}
+
 // splitmix64 is the 64-bit finalizer shared with the instrument
 // package; the differential tests pin the two to identical outputs.
 func splitmix64(x uint64) uint64 {

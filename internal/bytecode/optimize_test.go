@@ -121,6 +121,12 @@ func main(input) {
 		if opt.NumInstrs() > plain.NumInstrs() {
 			t.Fatalf("%s: optimizer grew code: opt=%d plain=%d", sub.Name, opt.NumInstrs(), plain.NumInstrs())
 		}
+		// NumNops (the telemetry measure of DSE effectiveness) must never
+		// exceed the slot count and must be monotone under optimization.
+		if n := opt.NumNops(); n > opt.NumInstrs() || n < plain.NumNops() {
+			t.Fatalf("%s: NumNops inconsistent: opt %d/%d instrs, plain %d",
+				sub.Name, n, opt.NumInstrs(), plain.NumNops())
+		}
 	}
 }
 

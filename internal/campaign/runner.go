@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/fuzz"
+	"repro/internal/telemetry"
 )
 
 // Config tunes a Runner.
@@ -164,6 +165,9 @@ func (r *Runner) hook(f *fuzz.Fuzzer) bool {
 // checkpoint snapshots the campaign, writes a sealed checkpoint, and
 // persists any new crash/fault inputs.
 func (r *Runner) checkpoint() error {
+	if tel := r.f.Telemetry(); tel != nil {
+		defer tel.StartSpan(telemetry.StageCheckpoint)()
+	}
 	snap := r.f.Snapshot()
 	ck := &Checkpoint{Meta: r.meta, Snap: snap}
 	if err := writeCheckpoint(r.cfg.FS, r.dir, ck, r.cfg.Keep); err != nil {

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+func gobStats(t *testing.T, s fuzz.Stats) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStatsRoundTripAudit is the counter-integrity audit behind the
+// observability work: every Stats field — including the per-stage
+// execution split the telemetry layer reports — must survive the
+// checkpoint/resume cycle byte-identically, and a resumed campaign's
+// final counters must equal an uninterrupted run's.
+func TestStatsRoundTripAudit(t *testing.T) {
+	opts := testOpts()
+
+	// Uninterrupted reference campaign.
+	f, err := fuzz.New(compileT(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range testSeeds {
+		f.AddSeed(s)
+	}
+	f.Fuzz(testBudget)
+	want := f.Report().Stats
+
+	// Sanity: the reference run exercises the stage counters the audit
+	// is about.
+	if want.SeedExecs == 0 || want.HavocExecs == 0 {
+		t.Fatalf("reference run has empty stage counters: %+v", want)
+	}
+	if sum := want.SeedExecs + want.HavocExecs + want.SpliceExecs + want.CmplogExecs; sum != want.Execs {
+		t.Fatalf("stage execs sum %d != total %d", sum, want.Execs)
+	}
+
+	// Interrupted campaign: stop mid-run, checkpoint, resume to the end.
+	dir := t.TempDir()
+	interruptedStart(t, OSFS{}, dir, opts)
+
+	ck, warns, err := LoadLatest(OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v (warnings %v)", err, warns)
+	}
+	// Mid-campaign audit: restoring the checkpoint and snapshotting
+	// again must reproduce the checkpointed Stats byte-for-byte.
+	mid, err := fuzz.Restore(compileT(t), opts, ck.Snap)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, want := gobStats(t, mid.Snapshot().Stats), gobStats(t, ck.Snap.Stats); !bytes.Equal(got, want) {
+		t.Fatalf("Stats not byte-identical across restore+snapshot: %d vs %d bytes", len(got), len(want))
+	}
+
+	r := NewRunner(dir, Config{FS: OSFS{}, Interval: testInterval, Keep: 3})
+	if err := r.Attach(compileT(t), opts, ck); err != nil {
+		t.Fatal(err)
+	}
+	rep, interrupted, err := r.Run()
+	if err != nil || interrupted || rep == nil {
+		t.Fatalf("resumed run did not complete: err=%v interrupted=%v", err, interrupted)
+	}
+
+	if !reflect.DeepEqual(rep.Stats, want) {
+		t.Errorf("resumed final Stats differ from uninterrupted run:\nresumed: %+v\nwant:    %+v", rep.Stats, want)
+	}
+	if !bytes.Equal(gobStats(t, rep.Stats), gobStats(t, want)) {
+		t.Error("resumed final Stats not byte-identical to uninterrupted run")
+	}
+}

@@ -16,12 +16,14 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/balllarus"
 	"repro/internal/cfg"
 	"repro/internal/fuzz"
 	"repro/internal/instrument"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -86,8 +88,14 @@ type Campaign struct {
 	// Status, when non-nil, receives periodic one-line campaign status
 	// (engine, execs/sec, queue, coverage).
 	Status io.Writer
-	// StatusEvery is the execution interval between status lines.
+	// StatusPeriod is the wall-clock interval between status lines
+	// (default 1s when Status is set).
+	StatusPeriod time.Duration
+	// StatusEvery is the execution-count fallback between status lines.
 	StatusEvery int64
+	// Telemetry, when non-nil, receives counter snapshots and stage
+	// spans from the campaign (observation only).
+	Telemetry *telemetry.Recorder
 }
 
 // Outcome re-exports the strategy outcome.
@@ -115,7 +123,9 @@ func (t *Target) Fuzz(c Campaign) (*Outcome, error) {
 			Instr:           c.Instr,
 			ReachBoost:      c.ReachBoost,
 			Status:          c.Status,
+			StatusPeriod:    c.StatusPeriod,
 			StatusEvery:     c.StatusEvery,
+			Telemetry:       c.Telemetry,
 		},
 		Budget:      c.Budget,
 		RoundBudget: c.RoundBudget,

@@ -172,6 +172,11 @@ const (
 // behaviour is observed.
 type Virgin struct {
 	bits []uint8
+	// consumed counts entries no longer fully virgin (bits != 0xff),
+	// maintained incrementally so Count is O(1) — it is the "coverage
+	// bits" gauge telemetry samples on every collector tick, where an
+	// O(map size) rescan would not be free.
+	consumed int
 }
 
 // NewVirgin returns a fresh virgin map of the given size.
@@ -185,6 +190,10 @@ func NewVirgin(size int) *Virgin {
 
 // Len returns the number of entries.
 func (v *Virgin) Len() int { return len(v.bits) }
+
+// Count returns the number of consumed entries — map cells where some
+// behaviour has been observed. O(1).
+func (v *Virgin) Count() int { return v.consumed }
 
 // Merge checks classified trace bits against the virgin map, consumes
 // any new bits, and reports the highest novelty found.
@@ -217,6 +226,7 @@ func (v *Virgin) Merge(classified []uint8) Novelty {
 			if vb&c != 0 {
 				if vb == 0xff {
 					ret = NewTuples
+					v.consumed++
 				} else if ret < NewCounts {
 					ret = NewCounts
 				}
@@ -233,6 +243,7 @@ func (v *Virgin) Merge(classified []uint8) Novelty {
 		if vb&c != 0 {
 			if vb == 0xff {
 				ret = NewTuples
+				v.consumed++
 			} else if ret < NewCounts {
 				ret = NewCounts
 			}
@@ -256,6 +267,7 @@ func (v *Virgin) MergeSparse(m *Map) Novelty {
 		if vb&c != 0 {
 			if vb == 0xff {
 				ret = NewTuples
+				v.consumed++
 			} else if ret < NewCounts {
 				ret = NewCounts
 			}
@@ -292,9 +304,13 @@ func (v *Virgin) SetCells(cells []VirginCell) error {
 	for i := range v.bits {
 		v.bits[i] = 0xff
 	}
+	v.consumed = 0
 	for _, c := range cells {
 		if int(c.Index) >= len(v.bits) {
 			return fmt.Errorf("coverage: virgin cell index %d out of range for map size %d", c.Index, len(v.bits))
+		}
+		if v.bits[c.Index] == 0xff && c.Bits != 0xff {
+			v.consumed++
 		}
 		v.bits[c.Index] = c.Bits
 	}

@@ -246,3 +246,85 @@ func TestDirtyTracking(t *testing.T) {
 		t.Errorf("saturating adds: dirty=%v val=%d", m.Dirty(), m.Bytes()[7])
 	}
 }
+
+// TestVirginCount pins the incremental consumed counter: Count must
+// equal the number of cells with bits != 0xff after any mix of dense
+// merges, bucket upgrades, and checkpoint round-trips.
+func TestVirginCount(t *testing.T) {
+	v := coverage.NewVirgin(16)
+	if v.Count() != 0 {
+		t.Fatal("fresh map should count 0")
+	}
+	trace := make([]uint8, 16)
+	trace[2] = 1
+	trace[9] = 1
+	v.Merge(trace)
+	if v.Count() != 2 {
+		t.Fatalf("Count = %d after 2 new cells, want 2", v.Count())
+	}
+	// Re-merging and upgrading a bucket touch no new cells.
+	v.Merge(trace)
+	trace[2] = 4
+	v.Merge(trace)
+	if v.Count() != 2 {
+		t.Fatalf("Count = %d after re-merge/bucket upgrade, want 2", v.Count())
+	}
+	// A genuinely new cell increments.
+	trace[14] = 1
+	v.Merge(trace)
+	if v.Count() != 3 {
+		t.Fatalf("Count = %d after third cell, want 3", v.Count())
+	}
+
+	// Sparse path counts identically.
+	m := coverage.NewMap(16)
+	m.Add(2)
+	m.Add(7)
+	m.ClassifySparse()
+	v.MergeSparse(m)
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d after sparse merge, want 4", v.Count())
+	}
+
+	// Checkpoint round-trip preserves the count.
+	cells := v.Cells()
+	if len(cells) != v.Count() {
+		t.Fatalf("Cells len %d != Count %d", len(cells), v.Count())
+	}
+	v2 := coverage.NewVirgin(16)
+	if err := v2.SetCells(cells); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Count() != v.Count() {
+		t.Fatalf("restored Count = %d, want %d", v2.Count(), v.Count())
+	}
+	if err := v2.SetCells(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Count() != 0 {
+		t.Fatalf("SetCells(nil) Count = %d, want 0", v2.Count())
+	}
+}
+
+// TestVirginCountMatchesCells is the property form: after arbitrary
+// merges the incremental counter equals len(Cells()).
+func TestVirginCountMatchesCells(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		size := 32
+		v := coverage.NewVirgin(size)
+		trace := make([]uint8, size)
+		for i, b := range raw {
+			trace[i%size] = b
+			if i%7 == 6 {
+				coverage.Classify(trace)
+				v.Merge(trace)
+			}
+		}
+		coverage.Classify(trace)
+		v.Merge(trace)
+		return v.Count() == len(v.Cells())
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -10,8 +10,10 @@ package evalharness
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/fuzz"
@@ -103,6 +105,12 @@ type SuiteResult struct {
 	Cfg Config
 	// Results[subject][fuzzer] has Cfg.Runs entries.
 	Results map[string]map[strategy.Name][]*RunResult
+	// Provenance: the toolchain and host the suite ran on, and its
+	// wall-clock duration (restored runs make this smaller than the sum
+	// of run durations).
+	GoVersion string
+	Host      string
+	Elapsed   time.Duration
 }
 
 // Runs returns the runs for one pair (nil if absent).
@@ -161,7 +169,14 @@ func (s *SuiteResult) AllBugs(subject string) triage.Set[string] {
 // RunSuite executes the configured campaigns.
 func RunSuite(cfg Config) (*SuiteResult, error) {
 	cfg = cfg.withDefaults()
-	sr := &SuiteResult{Cfg: cfg, Results: make(map[string]map[strategy.Name][]*RunResult)}
+	suiteStart := time.Now()
+	host, _ := os.Hostname()
+	sr := &SuiteResult{
+		Cfg:       cfg,
+		Results:   make(map[string]map[strategy.Name][]*RunResult),
+		GoVersion: runtime.Version(),
+		Host:      host,
+	}
 
 	type job struct {
 		subject string
@@ -208,6 +223,9 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 					// A failed save costs durability for this one run, not
 					// the suite.
 					saveEr = saveRun(cfg, rr)
+					if saveEr == nil {
+						saveEr = saveCurve(cfg, rr)
+					}
 				}
 			}
 			mu.Lock()
@@ -239,6 +257,7 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 	if firstEr != nil {
 		return nil, firstEr
 	}
+	sr.Elapsed = time.Since(suiteStart)
 	return sr, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/campaign"
@@ -12,14 +13,15 @@ import (
 )
 
 // countFS counts Create calls so tests can assert a restarted suite
-// recomputes nothing.
+// recomputes nothing. The counter is atomic: suite workers save runs
+// and curves concurrently.
 type countFS struct {
 	campaign.FS
-	creates int
+	creates atomic.Int64
 }
 
 func (c *countFS) Create(name string) (campaign.File, error) {
-	c.creates++
+	c.creates.Add(1)
 	return c.FS.Create(name)
 }
 
@@ -63,8 +65,8 @@ func TestSuiteDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfs.creates != 0 {
-		t.Errorf("restarted suite wrote %d files, want 0", cfs.creates)
+	if n := cfs.creates.Load(); n != 0 {
+		t.Errorf("restarted suite wrote %d files, want 0", n)
 	}
 	if !strings.Contains(progress.String(), "restored") {
 		t.Errorf("progress does not mention restored runs:\n%s", progress.String())
@@ -109,7 +111,7 @@ func TestSuiteDurabilityRejectsStale(t *testing.T) {
 	if _, err := RunSuite(cfg2); err != nil {
 		t.Fatal(err)
 	}
-	if cfs.creates == 0 {
+	if cfs.creates.Load() == 0 {
 		t.Error("changed-budget suite reused stale saved runs")
 	}
 }

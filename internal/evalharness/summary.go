@@ -3,6 +3,7 @@ package evalharness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/strategy"
@@ -57,6 +58,14 @@ func (s *SuiteResult) has(f strategy.Name) bool {
 // fuzzer was not part of the run.
 func (s *SuiteResult) Summary(w io.Writer) {
 	fmt.Fprintln(w, "SUMMARY — headline claims (paper §V) vs this run")
+	if s.GoVersion != "" {
+		host := s.Host
+		if host == "" {
+			host = "unknown-host"
+		}
+		fmt.Fprintf(w, "  environment: %s on %s, suite wall-clock %s\n",
+			s.GoVersion, host, s.Elapsed.Round(time.Millisecond))
+	}
 	get := func(f strategy.Name) triage.Set[string] { return s.TotalBugs(f) }
 	pct := func(a, b int) string {
 		if b == 0 {

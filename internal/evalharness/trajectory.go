@@ -1,0 +1,100 @@
+package evalharness
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+)
+
+// curvesDir is the StateDir subdirectory holding per-run trajectory
+// curves: one CSV per campaign, sampled from the fuzzer's history (the
+// Figure 2 machinery), so coverage-over-time plots can be regenerated
+// without re-running anything.
+const curvesDir = "curves"
+
+func curveFileName(subject string, f strategy.Name, run int) string {
+	return fmt.Sprintf("%s_%s_%03d.csv", campaign.SanitizeName(subject), campaign.SanitizeName(string(f)), run)
+}
+
+// CurveCSV renders one run's coverage-over-time curve as CSV.
+func CurveCSV(rr *RunResult) []byte {
+	var b strings.Builder
+	b.WriteString("execs,queue_len,coverage,crashes,unique_bugs,favored,paths_total\n")
+	if rr.Report != nil {
+		for _, h := range rr.Report.History {
+			fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d\n",
+				h.Execs, h.QueueLen, h.CovCount, h.Crashes, h.UniqBugs, h.Favored, h.PathCount)
+		}
+	}
+	return []byte(b.String())
+}
+
+// saveCurve persists one run's trajectory curve under StateDir/curves.
+func saveCurve(cfg Config, rr *RunResult) error {
+	dir := filepath.Join(cfg.StateDir, curvesDir)
+	if err := cfg.FS.MkdirAll(dir); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, curveFileName(rr.Subject, rr.Fuzzer, rr.Run))
+	return campaign.WriteFileAtomic(cfg.FS, path, CurveCSV(rr))
+}
+
+// trajectoryFractions are the budget checkpoints the trajectory table
+// reports, as fractions of the per-run execution budget.
+var trajectoryFractions = []float64{0.10, 0.25, 0.50, 0.75, 1.00}
+
+// coverageAt returns the run's coverage-map count at the last history
+// sample taken at or before the given execution count (0 if the history
+// has no sample that early).
+func coverageAt(rr *RunResult, execs int64) int {
+	cov := 0
+	if rr == nil || rr.Report == nil {
+		return 0
+	}
+	for _, h := range rr.Report.History {
+		if h.Execs > execs {
+			break
+		}
+		cov = h.CovCount
+	}
+	return cov
+}
+
+// Trajectory prints the paper-style coverage-over-time table: for every
+// fuzzer, the total (summed over subjects) median-across-runs coverage
+// at fixed fractions of the execution budget. It is the tabular form of
+// the paper's coverage-growth figures: a fuzzer that finds its coverage
+// early dominates the left columns even when totals converge.
+func (s *SuiteResult) Trajectory(w io.Writer) {
+	fmt.Fprintln(w, "TRAJECTORY — median coverage (map indices) at budget fractions, summed over subjects")
+	tw := newTab(w)
+	fmt.Fprint(tw, "Fuzzer\t")
+	for _, fr := range trajectoryFractions {
+		fmt.Fprintf(tw, "%d%%\t", int(fr*100))
+	}
+	fmt.Fprintln(tw, "final bugs\t")
+	for _, f := range s.Cfg.Fuzzers {
+		fmt.Fprintf(tw, "%s\t", f)
+		for _, fr := range trajectoryFractions {
+			at := int64(fr * float64(s.Cfg.Budget))
+			total := 0
+			for _, sub := range s.Cfg.Subjects {
+				var covs []int
+				for _, rr := range s.Runs(sub, f) {
+					if rr != nil {
+						covs = append(covs, coverageAt(rr, at))
+					}
+				}
+				total += stats.MedianInt(covs)
+			}
+			fmt.Fprintf(tw, "%d\t", total)
+		}
+		fmt.Fprintf(tw, "%d\t\n", s.TotalBugs(f).Len())
+	}
+	tw.Flush()
+}

@@ -1,0 +1,134 @@
+package evalharness
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/strategy"
+)
+
+func histRun(subject string, f strategy.Name, run int, hist []fuzz.HistPoint) *RunResult {
+	return &RunResult{
+		Subject: subject, Fuzzer: f, Run: run,
+		Report: &fuzz.Report{History: hist},
+	}
+}
+
+func TestCurveCSV(t *testing.T) {
+	rr := histRun("flvmeta", strategy.Path, 0, []fuzz.HistPoint{
+		{Execs: 100, QueueLen: 2, CovCount: 5, Crashes: 0, UniqBugs: 0, Favored: 1, PathCount: 3},
+		{Execs: 200, QueueLen: 4, CovCount: 9, Crashes: 1, UniqBugs: 1, Favored: 2, PathCount: 7},
+	})
+	lines := strings.Split(strings.TrimSpace(string(CurveCSV(rr))), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("curve has %d lines, want header + 2 rows", len(lines))
+	}
+	if lines[0] != "execs,queue_len,coverage,crashes,unique_bugs,favored,paths_total" {
+		t.Errorf("header drifted: %q", lines[0])
+	}
+	if lines[2] != "200,4,9,1,1,2,7" {
+		t.Errorf("row = %q, want 200,4,9,1,1,2,7", lines[2])
+	}
+	// Nil report renders just the header instead of panicking.
+	if got := string(CurveCSV(&RunResult{})); !strings.HasPrefix(got, "execs,") || strings.Count(got, "\n") != 1 {
+		t.Errorf("nil-report curve = %q", got)
+	}
+}
+
+func TestCoverageAt(t *testing.T) {
+	rr := histRun("s", strategy.Path, 0, []fuzz.HistPoint{
+		{Execs: 100, CovCount: 5},
+		{Execs: 200, CovCount: 9},
+		{Execs: 300, CovCount: 12},
+	})
+	for _, c := range []struct {
+		at   int64
+		want int
+	}{{50, 0}, {100, 5}, {250, 9}, {300, 12}, {9999, 12}} {
+		if got := coverageAt(rr, c.at); got != c.want {
+			t.Errorf("coverageAt(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	if coverageAt(nil, 100) != 0 || coverageAt(&RunResult{}, 100) != 0 {
+		t.Error("nil guards broken")
+	}
+}
+
+func TestTrajectoryTable(t *testing.T) {
+	cfg := Config{
+		Subjects: []string{"s"},
+		Fuzzers:  []strategy.Name{strategy.Path},
+		Runs:     1,
+		Budget:   1000,
+	}
+	sr := &SuiteResult{Cfg: cfg, Results: map[string]map[strategy.Name][]*RunResult{
+		"s": {strategy.Path: {histRun("s", strategy.Path, 0, []fuzz.HistPoint{
+			{Execs: 100, CovCount: 5},
+			{Execs: 500, CovCount: 9},
+			{Execs: 1000, CovCount: 12},
+		})}},
+	}}
+	var b strings.Builder
+	sr.Trajectory(&b)
+	out := b.String()
+	if !strings.Contains(out, "TRAJECTORY") || !strings.Contains(out, "path") {
+		t.Fatalf("trajectory output missing parts:\n%s", out)
+	}
+	// At 10% of budget (100 execs) coverage is 5; at 100% it is 12.
+	fields := strings.Fields(strings.Split(out, "path")[1])
+	if len(fields) < 6 {
+		t.Fatalf("trajectory row too short: %q", fields)
+	}
+	if fields[0] != "5" || fields[4] != "12" {
+		t.Errorf("trajectory row = %v, want 10%%=5 and 100%%=12", fields[:5])
+	}
+}
+
+// TestSuiteWritesCurves runs a tiny durable suite and checks each run's
+// coverage curve lands in StateDir/curves as parseable CSV.
+func TestSuiteWritesCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	dir := t.TempDir()
+	sr, err := RunSuite(durableCfg(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(filepath.Join(dir, curvesDir))
+	if err != nil {
+		t.Fatalf("no curves directory: %v", err)
+	}
+	// 1 subject x 2 fuzzers x 2 runs.
+	if len(names) != 4 {
+		t.Fatalf("found %d curve files, want 4: %v", len(names), names)
+	}
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, curvesDir, n.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("curve %s has no samples", n.Name())
+		}
+		last := strings.Split(lines[len(lines)-1], ",")
+		execs, err := strconv.ParseInt(last[0], 10, 64)
+		if err != nil || execs <= 0 {
+			t.Fatalf("curve %s last row unparseable: %q", n.Name(), lines[len(lines)-1])
+		}
+	}
+	// Provenance satellite: the suite records environment + duration.
+	if sr.GoVersion == "" || sr.Elapsed <= 0 {
+		t.Errorf("suite provenance missing: goversion=%q elapsed=%v", sr.GoVersion, sr.Elapsed)
+	}
+	var b strings.Builder
+	sr.Summary(&b)
+	if !strings.Contains(b.String(), "environment: go") {
+		t.Errorf("summary does not report environment:\n%s", b.String())
+	}
+}

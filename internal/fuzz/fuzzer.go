@@ -23,6 +23,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/instrument"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -128,9 +129,21 @@ type Options struct {
 	// Status, when non-nil, receives a periodic one-line campaign status
 	// (engine, execs/sec, queue, coverage, crashes).
 	Status io.Writer
-	// StatusEvery is the execution interval between status lines
-	// (default 50000 when Status is set).
+	// StatusPeriod is the wall-clock interval between status lines
+	// (default 1s when Status is set). Wall-clock pacing keeps slow or
+	// tight-limit subjects from going silent; it is display-only and
+	// never feeds back into campaign state.
+	StatusPeriod time.Duration
+	// StatusEvery is the exec-count fallback between status lines
+	// (default 50000): a line is also emitted whenever this many
+	// executions pass without one, so a stalled clock cannot silence
+	// the campaign either.
 	StatusEvery int64
+	// Telemetry, when non-nil, receives counter snapshots and stage
+	// spans. Publishing happens only at queue-entry boundaries (never
+	// inside the exec loop) and is strictly observational: attaching a
+	// recorder cannot change what the campaign does.
+	Telemetry *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -213,7 +226,23 @@ type Stats struct {
 	// defects, not findings against the program under test; the campaign
 	// survives them and records the triggering inputs.
 	InternalFaults int64
+	// Per-stage execution attribution: which stage issued each
+	// execution. Deterministic (counts, not times), checkpointed with
+	// the rest of Stats, and surfaced by the telemetry layer.
+	SeedExecs   int64
+	HavocExecs  int64
+	SpliceExecs int64
+	CmplogExecs int64
 }
+
+// Execution stages, for Stats attribution (internal; the telemetry
+// package carries the exported stage taxonomy).
+const (
+	stageSeed uint8 = iota
+	stageHavoc
+	stageSplice
+	stageCmplog
+)
 
 // InternalFault is one quarantined harness failure: a panic during
 // vm.Run recovered by the fuzz loop instead of killing the campaign.
@@ -299,6 +328,21 @@ type Fuzzer struct {
 	// state, so determinism is unaffected).
 	statusAt    time.Time
 	statusExecs int64
+
+	// curStage attributes executions to the stage that issued them
+	// (stage counters in Stats); maxDepth tracks the deepest mutation
+	// chain in the queue. Both are deterministic campaign state.
+	curStage uint8
+	maxDepth int
+
+	// tel, when non-nil, receives counter snapshots and stage spans —
+	// observation only, at queue-entry granularity. nextPublish paces
+	// the snapshot copies (display only, like statusAt): the collector
+	// samples at wall-clock intervals, so publishing every boundary
+	// would pay the queue scans thousands of times per second for
+	// snapshots nobody reads.
+	tel         *telemetry.Recorder
+	nextPublish int64
 }
 
 // New constructs a fuzzer for prog.
@@ -339,6 +383,7 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		crashes:     make(map[uint64]*CrashRec),
 		bugs:        make(map[string]*CrashRec),
 		dictSeen:    make(map[string]bool),
+		tel:         opts.Telemetry,
 	}
 	if opts.ReachBoost {
 		f.reachW, f.reachMax = reachWeights(prog, opts.Feedback, opts.MapSize)
@@ -419,6 +464,24 @@ func (f *Fuzzer) EngineName() string {
 	return "interp"
 }
 
+// BytecodeInstrs returns the compiled program's flat instruction count
+// (0 when the campaign runs on the reference interpreter).
+func (f *Fuzzer) BytecodeInstrs() int {
+	if f.mach != nil {
+		return f.mach.Program().NumInstrs()
+	}
+	return 0
+}
+
+// BytecodeNops reports how many compiled instruction slots are counted
+// nops (dead stores reclaimed by the optimizer); 0 for the interpreter.
+func (f *Fuzzer) BytecodeNops() int {
+	if f.mach != nil {
+		return f.mach.Program().NumNops()
+	}
+	return 0
+}
+
 // recordFault quarantines one interpreter panic as an internal-fault
 // finding, deduplicated by message.
 func (f *Fuzzer) recordFault(data []byte, msg string) {
@@ -446,6 +509,16 @@ func (f *Fuzzer) execute(data []byte) execOutcome {
 	f.cov.Reset()
 	res, faultMsg, ok := f.runProtected(data)
 	f.stats.Execs++
+	switch f.curStage {
+	case stageSeed:
+		f.stats.SeedExecs++
+	case stageHavoc:
+		f.stats.HavocExecs++
+	case stageSplice:
+		f.stats.SpliceExecs++
+	case stageCmplog:
+		f.stats.CmplogExecs++
+	}
 	if !ok {
 		// The execution is quarantined: its (possibly partial) coverage
 		// is discarded so the virgin maps and queue see a no-op, and the
@@ -501,9 +574,14 @@ func (f *Fuzzer) recordCrash(data []byte, c *vm.Crash) {
 // (or unconditionally for the very first seed, so the queue is never
 // empty).
 func (f *Fuzzer) AddSeed(data []byte) {
+	if f.tel != nil {
+		defer f.tel.StartSpan(telemetry.StageCalibrate)()
+		defer f.publishTelemetry()
+	}
 	if len(data) > f.opts.MaxInputLen {
 		data = data[:f.opts.MaxInputLen]
 	}
+	f.curStage = stageSeed
 	out := f.execute(data)
 	if out.res.Status == vm.StatusCrash {
 		// The paper's opportunistic method strips crashing seeds; in
@@ -536,6 +614,9 @@ func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSe
 	f.stats.Added++
 	f.sumSteps += steps
 	f.sumCov += int64(len(cov))
+	if depth > f.maxDepth {
+		f.maxDepth = depth
+	}
 	f.updateTopRated(e)
 	return e
 }
@@ -788,6 +869,10 @@ func (f *Fuzzer) Fuzz(budget int64) {
 			if f.opts.Status != nil {
 				f.maybeStatus()
 			}
+			if f.tel != nil && f.stats.Execs >= f.nextPublish {
+				f.publishTelemetry()
+				f.nextPublish = f.stats.Execs + telemetryEvery
+			}
 			if f.hook != nil && !f.hook(f) {
 				return
 			}
@@ -798,23 +883,33 @@ func (f *Fuzzer) Fuzz(budget int64) {
 		}
 	}
 	f.sample()
+	f.publishTelemetry()
 }
 
 // maybeStatus emits the periodic status line: engine, execution count,
 // measured execs/sec over the last interval, and campaign counters.
+// Pacing is wall-clock first (StatusPeriod, default 1s) with an
+// exec-count fallback (StatusEvery), so slow or tight-limit subjects
+// report on time while fast ones cannot flood the terminal between
+// clock reads. Display only: nothing here feeds back into campaign
+// state.
 func (f *Fuzzer) maybeStatus() {
+	now := time.Now()
+	if f.statusAt.IsZero() {
+		f.statusAt, f.statusExecs = now, f.stats.Execs
+		return
+	}
+	period := f.opts.StatusPeriod
+	if period <= 0 {
+		period = time.Second
+	}
 	every := f.opts.StatusEvery
 	if every <= 0 {
 		every = 50000
 	}
-	if f.statusAt.IsZero() {
-		f.statusAt, f.statusExecs = time.Now(), f.stats.Execs
+	if now.Sub(f.statusAt) < period && f.stats.Execs-f.statusExecs < every {
 		return
 	}
-	if f.stats.Execs-f.statusExecs < every {
-		return
-	}
-	now := time.Now()
 	rate := 0.0
 	if dt := now.Sub(f.statusAt).Seconds(); dt > 0 {
 		rate = float64(f.stats.Execs-f.statusExecs) / dt
@@ -822,6 +917,56 @@ func (f *Fuzzer) maybeStatus() {
 	fmt.Fprintf(f.opts.Status, "[pafuzz] engine=%s execs=%d rate=%.0f/s queue=%d cov=%d crashes=%d bugs=%d\n",
 		f.EngineName(), f.stats.Execs, rate, len(f.queue), f.coveredCount(), f.stats.CrashExecs, len(f.bugs))
 	f.statusAt, f.statusExecs = now, f.stats.Execs
+}
+
+// Telemetry returns the attached recorder (nil when telemetry is off).
+func (f *Fuzzer) Telemetry() *telemetry.Recorder { return f.tel }
+
+// telemetryEvery is the minimum exec spacing between boundary
+// publishes. Small enough that a 1s collector tick virtually always
+// sees a fresh snapshot, large enough that the per-publish queue scans
+// vanish from campaign cost. Fuzz still publishes unconditionally when
+// the budget runs out, so the final snapshot is exact.
+const telemetryEvery = 1000
+
+// publishTelemetry copies the campaign counters into the recorder —
+// one snapshot per queue-entry boundary, the only place the campaign
+// touches the telemetry layer.
+func (f *Fuzzer) publishTelemetry() {
+	if f.tel == nil {
+		return
+	}
+	pending := int64(0)
+	for _, e := range f.queue {
+		if !e.WasFuzzed {
+			pending++
+		}
+	}
+	f.tel.Publish(telemetry.Counters{
+		Execs:            f.stats.Execs,
+		Timeouts:         f.stats.Timeouts,
+		CrashExecs:       f.stats.CrashExecs,
+		TotalSteps:       f.stats.TotalSteps,
+		Cycles:           int64(f.stats.Cycles),
+		Added:            f.stats.Added,
+		UniqueCrashes:    int64(len(f.crashes)),
+		UniqueBugs:       int64(len(f.bugs)),
+		AFLUniqueCrashes: f.stats.AFLUniqueCrashes,
+		InternalFaults:   f.stats.InternalFaults,
+		QueueLen:         int64(len(f.queue)),
+		Favored:          int64(f.favoredCount()),
+		PendingTotal:     pending,
+		PendingFavored:   int64(f.pendingFavored),
+		CurItem:          int64(f.qi - 1),
+		MaxDepth:         int64(f.maxDepth),
+		CoverageCount:    int64(len(f.topRated)),
+		CoverageBits:     int64(f.virgin.Count()),
+		MapSize:          int64(f.cov.Len()),
+		SeedExecs:        f.stats.SeedExecs,
+		HavocExecs:       f.stats.HavocExecs,
+		SpliceExecs:      f.stats.SpliceExecs,
+		CmplogExecs:      f.stats.CmplogExecs,
+	})
 }
 
 func (f *Fuzzer) sample() {
@@ -851,16 +996,24 @@ func (f *Fuzzer) coveredCount() int {
 	return len(f.topRated)
 }
 
-// fuzzOne runs the havoc/splice stages for one entry.
+// fuzzOne runs the havoc/splice stages for one entry. The telemetry
+// span covers the whole entry budget (nested cmplog stages triggered
+// by novel finds record their own spans inside it); havoc vs splice
+// executions are told apart via the deterministic stage counters.
 func (f *Fuzzer) fuzzOne(e *Entry, budget int64) {
+	if f.tel != nil {
+		defer f.tel.StartSpan(telemetry.StageHavoc)()
+	}
 	iters := f.energy(e)
 	for i := 0; i < iters && f.stats.Execs < budget; i++ {
 		var cand []byte
 		if len(f.queue) > 1 && f.rng.Intn(100) < 15 {
 			other := f.queue[f.rng.Intn(len(f.queue))]
 			cand = f.mut.splice(e.Data, other.Data)
+			f.curStage = stageSplice
 		} else {
 			cand = f.mut.havoc(e.Data)
+			f.curStage = stageHavoc
 		}
 		out := f.execute(cand)
 		f.processNew(cand, out, e.Depth+1)
@@ -875,6 +1028,12 @@ func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
 	if f.opts.Profile == ProfileAFL {
 		return
 	}
+	if f.tel != nil {
+		defer f.tel.StartSpan(telemetry.StageCmplog)()
+	}
+	prevStage := f.curStage
+	f.curStage = stageCmplog
+	defer func() { f.curStage = prevStage }()
 	if f.mach != nil && len(cmps) > 0 {
 		// The bytecode machine's Result.Cmps aliases its pooled buffer,
 		// which the executions this stage performs would clobber mid-walk;

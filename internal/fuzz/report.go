@@ -92,6 +92,10 @@ func MergeReports(reports ...*Report) *Report {
 		out.Stats.Added += r.Stats.Added
 		out.Stats.AFLUniqueCrashes += r.Stats.AFLUniqueCrashes
 		out.Stats.InternalFaults += r.Stats.InternalFaults
+		out.Stats.SeedExecs += r.Stats.SeedExecs
+		out.Stats.HavocExecs += r.Stats.HavocExecs
+		out.Stats.SpliceExecs += r.Stats.SpliceExecs
+		out.Stats.CmplogExecs += r.Stats.CmplogExecs
 		for _, rec := range r.Crashes {
 			if rec == nil || rec.Crash == nil {
 				continue

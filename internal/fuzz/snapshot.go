@@ -180,6 +180,8 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 	f.queue = make([]*Entry, 0, len(snap.Entries))
 	f.topRated = make(map[uint32]*Entry)
 	f.sumSteps, f.sumCov = 0, 0
+	// maxDepth is derived state, recomputed from the queue below.
+	f.maxDepth = 0
 	for i, se := range snap.Entries {
 		if len(se.Data) > f.opts.MaxInputLen {
 			return fmt.Errorf("fuzz: snapshot entry %d is %d bytes, exceeds input cap %d", i, len(se.Data), f.opts.MaxInputLen)
@@ -204,6 +206,9 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 		f.queue = append(f.queue, e)
 		f.sumSteps += e.Steps
 		f.sumCov += int64(len(e.Cov))
+		if e.Depth > f.maxDepth {
+			f.maxDepth = e.Depth
+		}
 		// Replaying champion updates in queue order reproduces the
 		// incremental top-rated map exactly (ties keep the earlier
 		// entry, as they did originally).

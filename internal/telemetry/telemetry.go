@@ -1,0 +1,316 @@
+// Package telemetry is the campaign observability subsystem: a typed
+// counter registry with a lock-free hot path, time-series samplers for
+// the trajectory metrics the paper's evaluation is built on (execs/s,
+// coverage bits, map density, queue depth, novelty rate), per-stage
+// span tracing with power-of-two latency histograms, AFL-compatible
+// fuzzer_stats/plot_data emitters, and an HTTP endpoint serving a
+// Prometheus text exposition, a JSON snapshot, and a live dashboard.
+//
+// The design keeps observation strictly out of the execution hot path:
+// the fuzz loop maintains plain (non-atomic) int64 counters exactly as
+// before, and at coarse safe points — queue-entry boundaries — copies
+// them into a Counters value and Publishes it with a single atomic
+// pointer store. A collector goroutine samples the published snapshot
+// on a wall-clock cadence, derives rates from consecutive samples, and
+// feeds the series, files, and endpoint. Telemetry therefore never
+// feeds back into campaign state, never contends with the exec loop,
+// and adds no work per execution — the invariant the <2% overhead
+// budget (BENCH_PR4.json) and the determinism tests pin down.
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is the typed registry of campaign counters a fuzzer
+// publishes. All fields are cumulative totals (rates are derived by
+// the collector from consecutive snapshots); gauge-like fields
+// (QueueLen, Favored, ...) carry the value at publish time.
+type Counters struct {
+	// Execution totals.
+	Execs      int64
+	Timeouts   int64
+	CrashExecs int64
+	TotalSteps int64
+	Cycles     int64
+	// Added counts queue entries ever added — the novelty event count
+	// behind the novelty-rate sampler.
+	Added            int64
+	UniqueCrashes    int64
+	UniqueBugs       int64
+	AFLUniqueCrashes int64
+	InternalFaults   int64
+
+	// Queue gauges.
+	QueueLen       int64
+	Favored        int64
+	PendingTotal   int64 // queue entries never fuzzed
+	PendingFavored int64 // favored entries never fuzzed (pending calibration analogue)
+	CurItem        int64 // queue index currently being fuzzed
+	MaxDepth       int64 // deepest mutation chain in the queue
+
+	// Coverage gauges. CoverageCount is the number of map indices ever
+	// touched; CoverageBits is the number of consumed virgin cells
+	// (AFL's bitmap coverage); MapSize normalizes both into densities.
+	CoverageCount int64
+	CoverageBits  int64
+	MapSize       int64
+
+	// Per-stage execution attribution (counts, not times — these stay
+	// deterministic and are checkpointed with the campaign's Stats).
+	SeedExecs   int64
+	HavocExecs  int64
+	SpliceExecs int64
+	CmplogExecs int64
+}
+
+// Snapshot is one published, immutable view of the counters.
+type Snapshot struct {
+	Counters
+	// When is the wall-clock publish time; Elapsed is time since the
+	// recorder started (plus any carried base from a resumed campaign).
+	When    time.Time
+	Elapsed time.Duration
+}
+
+// MapDensity returns the touched-index fraction of the coverage map.
+func (s *Snapshot) MapDensity() float64 {
+	if s.MapSize == 0 {
+		return 0
+	}
+	return float64(s.CoverageCount) / float64(s.MapSize)
+}
+
+// Info is the static campaign identity surfaced in fuzzer_stats and
+// the endpoint. Fields unknown at construction (the resolved engine,
+// the compiled instruction count) may be filled in later via SetInfo.
+type Info struct {
+	// Banner identifies the campaign, e.g. "flvmeta/cull".
+	Banner string
+	// Engine is the resolved execution engine ("bytecode" or "interp").
+	Engine string
+	// Feedback names the coverage feedback mechanism.
+	Feedback string
+	// Instrs is the compiled bytecode instruction count (0 for interp);
+	// Nops is how many of those slots the verified optimization passes
+	// reduced to counted nops.
+	Instrs int
+	Nops   int
+	Seed   int64
+	Budget int64
+	// GoVersion and PID are recorded for reproducibility.
+	GoVersion string
+	PID       int
+}
+
+// Config tunes a Recorder.
+type Config struct {
+	Info Info
+	// Now injects a clock for deterministic tests (time.Now if nil).
+	Now func() time.Time
+	// SeriesCap bounds the sample ring (default 1024 points).
+	SeriesCap int
+	// SpanCap bounds the span ring (default 4096 spans).
+	SpanCap int
+	// ElapsedBase offsets Elapsed, carrying wall-clock lineage across a
+	// checkpoint/resume boundary so plot_data stays gapless.
+	ElapsedBase time.Duration
+}
+
+// Recorder is the campaign-side telemetry hub. The publishing side
+// (the fuzz loop) and the consuming side (collector goroutine, HTTP
+// handlers) share it; only Publish is on the campaign's path and it
+// performs one allocation and one atomic store per call.
+type Recorder struct {
+	now   func() time.Time
+	start time.Time
+	base  time.Duration
+	cur   atomic.Pointer[Snapshot]
+
+	mu     sync.Mutex
+	info   Info
+	series *series
+	spans  *spanStore
+	prev   *Snapshot // last sampled snapshot, for rate derivation
+	afl    *AFLOutput
+
+	collectDone chan struct{}
+	collectStop chan struct{}
+}
+
+// New builds a recorder. The zero Config is usable.
+func New(cfg Config) *Recorder {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.SeriesCap <= 0 {
+		cfg.SeriesCap = 1024
+	}
+	if cfg.SpanCap <= 0 {
+		cfg.SpanCap = 4096
+	}
+	info := cfg.Info
+	if info.GoVersion == "" {
+		info.GoVersion = runtime.Version()
+	}
+	return &Recorder{
+		now:    now,
+		start:  now(),
+		base:   cfg.ElapsedBase,
+		info:   info,
+		series: newSeries(cfg.SeriesCap),
+		spans:  newSpanStore(cfg.SpanCap),
+	}
+}
+
+// Publish stores a new counter snapshot. It is the only telemetry call
+// on the campaign's path: one allocation, one atomic pointer store, no
+// locks. Safe to call concurrently with every consumer.
+func (r *Recorder) Publish(c Counters) {
+	now := r.now()
+	r.cur.Store(&Snapshot{Counters: c, When: now, Elapsed: r.base + now.Sub(r.start)})
+}
+
+// Latest returns the most recently published snapshot (nil before the
+// first Publish).
+func (r *Recorder) Latest() *Snapshot { return r.cur.Load() }
+
+// SetInfo replaces the campaign identity (e.g. once the resolved
+// engine is known).
+func (r *Recorder) SetInfo(info Info) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if info.GoVersion == "" {
+		info.GoVersion = runtime.Version()
+	}
+	r.info = info
+}
+
+// Info returns the campaign identity.
+func (r *Recorder) Info() Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// Elapsed returns wall-clock time since the recorder started, offset
+// by any resumed base.
+func (r *Recorder) Elapsed() time.Duration { return r.base + r.now().Sub(r.start) }
+
+// AttachAFLOutput opens (or resumes) the AFL-compatible fuzzer_stats
+// and plot_data files under dir; subsequent Sample calls append rows.
+// When the plot file already holds rows (a resumed campaign), their
+// final relative_time is adopted as the recorder's elapsed base so the
+// series continues gaplessly. Call before the campaign starts
+// publishing (the base is read lock-free on the publish path).
+func (r *Recorder) AttachAFLOutput(dir string) error {
+	out, err := OpenAFLOutput(dir)
+	if err != nil {
+		return err
+	}
+	if carried := time.Duration(out.lastRel) * time.Second; out.hasRows && r.base < carried {
+		r.base = carried
+	}
+	r.mu.Lock()
+	r.afl = out
+	r.mu.Unlock()
+	return nil
+}
+
+// Sample takes one collector tick: it loads the latest snapshot,
+// derives rates against the previous sample, appends a series point,
+// and — when an AFL output is attached — writes a plot_data row and
+// rewrites fuzzer_stats. It is what the collector goroutine runs on
+// its cadence, and what tests call directly for determinism. It
+// returns the point recorded, or ok=false when nothing has been
+// published yet or the counters have not advanced.
+func (r *Recorder) Sample() (Point, bool) {
+	s := r.Latest()
+	if s == nil {
+		return Point{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.prev != nil && r.prev.Elapsed == s.Elapsed && r.prev.Execs == s.Execs {
+		return Point{}, false
+	}
+	p := derivePoint(r.prev, s)
+	r.series.push(p)
+	r.prev = s
+	if r.afl != nil {
+		r.afl.Append(s, p, r.info)
+	}
+	return p, true
+}
+
+// Points returns the recorded series, oldest first.
+func (r *Recorder) Points() []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series.points()
+}
+
+// LastPoint returns the most recent series point.
+func (r *Recorder) LastPoint() (Point, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series.last()
+}
+
+// StartCollector spawns the sampling goroutine on the given cadence
+// (default 1s when non-positive). Stop it with Close. Starting twice
+// is a no-op.
+func (r *Recorder) StartCollector(every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	r.mu.Lock()
+	if r.collectStop != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.collectStop, r.collectDone = stop, done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Sample()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the collector (if running), takes a final sample so the
+// last counters always reach the series and files, and closes the AFL
+// output. Safe to call multiple times.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	stop, done := r.collectStop, r.collectDone
+	r.collectStop, r.collectDone = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	r.Sample()
+	r.mu.Lock()
+	afl := r.afl
+	r.afl = nil
+	r.mu.Unlock()
+	if afl != nil {
+		return afl.Close()
+	}
+	return nil
+}
