@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/fuzz"
 	"repro/internal/instrument"
 	"repro/internal/strategy"
@@ -60,6 +61,11 @@ func main() {
 		statusEvery = flag.Int64("status-every", 50000, "execution-count fallback between status lines (0 disables status)")
 		statusPer   = flag.Duration("status-period", time.Second, "wall-clock interval between status lines")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address (Prometheus at /metrics, JSON at /snapshot.json, dashboard at /)")
+		workers     = flag.Int("workers", 1, "parallel fuzzing workers (>1 requires -o and a single-phase -fuzzer; -budget is per worker)")
+		syncEvery   = flag.Int64("sync-every", 20000, "per-worker executions between fleet corpus syncs (0 disables)")
+		watchdog    = flag.Duration("watchdog", 5*time.Second, "declare a fleet worker wedged after this long without progress (0 disables)")
+		maxRestarts = flag.Int("max-restarts", 3, "consecutive worker failures before the fleet retires the worker")
+		chaosEvery  = flag.Int64("chaos-every", 0, "fault injection: panic each worker's first attempt once past this exec count (0 disables; for supervision smoke tests)")
 		analysisLvl = flag.String("analysis", "", "static-analysis strictness: strict runs the IR and bytecode verifiers on every compile (default off)")
 		opt         = flag.Bool("opt", true, "enable verified bytecode optimization passes (constant folding, dead code)")
 		reach       = flag.Bool("reach", false, "boost power-schedule energy by static crash-site reachability")
@@ -83,9 +89,31 @@ func main() {
 		return
 	}
 
+	fleetOpts := fleet.Options{
+		Workers:     *workers,
+		SyncEvery:   *syncEvery,
+		Watchdog:    *watchdog,
+		MaxRestarts: *maxRestarts,
+		CkptEvery:   *ckptEvery,
+		Log:         os.Stderr,
+	}
+	if *chaosEvery > 0 {
+		n := *chaosEvery
+		fleetOpts.Chaos = func(worker, gen int, execs int64) fleet.ChaosAction {
+			if gen == 0 && execs >= n {
+				return fleet.ChaosPanic
+			}
+			return fleet.ChaosNone
+		}
+	}
+
 	if *resume {
 		if *stateDir == "" {
 			fatalf("-resume requires -o <state dir>")
+		}
+		if fleet.HasManifest(campaign.OSFS{}, *stateDir) {
+			resumeFleetCampaign(*stateDir, fleetOpts, engine, *metricsAddr, *showCrash)
+			return
 		}
 		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery, *statusPer, *metricsAddr)
 		return
@@ -173,6 +201,17 @@ func main() {
 			if *statusEvery <= 0 {
 				opts.Status = nil
 			}
+			if *workers > 1 {
+				fleetOpts.Telemetry = rec
+				s := fleet.New(*stateDir, fleetOpts)
+				if err := s.Start(target.Prog, opts, meta, seeds); err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Printf("fleet: %d workers, %d execs each (sync every %d)\n", *workers, *budget, *syncEvery)
+				runFleetDurable(s, *stateDir, *fuzzerName, *showCrash)
+				closeTelemetry(rec)
+				return
+			}
 			r := campaign.NewRunner(*stateDir, campaign.Config{Interval: *ckptEvery, Log: os.Stderr})
 			if err := r.Start(target.Prog, opts, meta, seeds); err != nil {
 				fatalf("%v", err)
@@ -182,12 +221,18 @@ func main() {
 			closeTelemetry(rec)
 			return
 		}
+		if *workers > 1 {
+			fatalf("-workers %d requires a single-phase -fuzzer, not round-based configuration %q", *workers, *fuzzerName)
+		}
 		for _, n := range strategy.AllNames {
 			if n == strategy.Name(*fuzzerName) {
 				warnf("configuration %q is round-based and not checkpointable; running non-durable, crashes still saved to %s", *fuzzerName, *stateDir)
 				break
 			}
 		}
+	}
+	if *workers > 1 {
+		fatalf("-workers %d requires -o <state dir>", *workers)
 	}
 
 	// Round-based configurations restart their counters every round, so
@@ -293,35 +338,7 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 		fatalf("%v", err)
 	}
 	meta := ck.Meta
-
-	var target *core.Target
-	switch {
-	case meta.Subject != "":
-		sub := subjects.Get(meta.Subject)
-		if sub == nil {
-			fatalf("checkpoint references unknown subject %q", meta.Subject)
-		}
-		prog, perr := sub.Program()
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-		target = core.FromProgram(prog)
-	case meta.Source != "":
-		src, rerr := os.ReadFile(meta.Source)
-		if rerr != nil {
-			fatalf("checkpointed source: %v", rerr)
-		}
-		sum := sha256.Sum256(src)
-		if got := hex.EncodeToString(sum[:]); got != meta.SourceSum {
-			fatalf("source %s changed since the campaign started (sha256 %s, checkpoint has %s); resuming would not be deterministic", meta.Source, got, meta.SourceSum)
-		}
-		target, err = core.Compile(string(src))
-		if err != nil {
-			fatalf("compile: %v", err)
-		}
-	default:
-		fatalf("checkpoint names neither a subject nor a source file")
-	}
+	target := targetFromMeta(meta)
 
 	fb, profile, ok := strategy.SingleConfig(strategy.Name(meta.Fuzzer))
 	if !ok {
@@ -370,17 +387,134 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 	closeTelemetry(rec)
 }
 
-// runDurable installs signal handling and drives a durable campaign.
-func runDurable(r *campaign.Runner, dir, fuzzerName string, showCrash bool) {
-	sigs := make(chan os.Signal, 2)
+// targetFromMeta reconstructs the fuzzed target from checkpoint or
+// manifest metadata, refusing to resume against drifted sources.
+func targetFromMeta(meta campaign.Meta) *core.Target {
+	switch {
+	case meta.Subject != "":
+		sub := subjects.Get(meta.Subject)
+		if sub == nil {
+			fatalf("checkpoint references unknown subject %q", meta.Subject)
+		}
+		prog, perr := sub.Program()
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		return core.FromProgram(prog)
+	case meta.Source != "":
+		src, rerr := os.ReadFile(meta.Source)
+		if rerr != nil {
+			fatalf("checkpointed source: %v", rerr)
+		}
+		sum := sha256.Sum256(src)
+		if got := hex.EncodeToString(sum[:]); got != meta.SourceSum {
+			fatalf("source %s changed since the campaign started (sha256 %s, checkpoint has %s); resuming would not be deterministic", meta.Source, got, meta.SourceSum)
+		}
+		target, err := core.Compile(string(src))
+		if err != nil {
+			fatalf("compile: %v", err)
+		}
+		return target
+	}
+	fatalf("checkpoint names neither a subject nor a source file")
+	return nil
+}
+
+// resumeFleetCampaign resumes a fleet from its manifest plus the
+// workers' own checkpoints. The manifest's fleet shape (worker count,
+// sync cadence, restart budget) overrides the flags — resuming with
+// different values would break determinism.
+func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metricsAddr string, showCrash bool) {
+	man, err := fleet.LoadManifest(campaign.OSFS{}, dir)
+	if err != nil {
+		fatalf("fleet manifest: %v", err)
+	}
+	meta := man.Meta
+	target := targetFromMeta(meta)
+	fb, profile, ok := strategy.SingleConfig(strategy.Name(meta.Fuzzer))
+	if !ok {
+		fatalf("fleet manifest references non-resumable configuration %q", meta.Fuzzer)
+	}
+	banner := meta.Subject
+	if banner == "" {
+		banner = filepath.Base(meta.Source)
+	}
+	rec := startTelemetry(telemetry.Info{
+		Banner:   banner + "/" + meta.Fuzzer,
+		Feedback: meta.Fuzzer,
+		Seed:     meta.Seed,
+		Budget:   meta.Budget,
+		PID:      os.Getpid(),
+	}, dir, metricsAddr)
+	opts := fuzz.Options{
+		Feedback:        fb,
+		Profile:         profile,
+		Seed:            meta.Seed,
+		MapSize:         meta.MapSize,
+		Entry:           meta.Entry,
+		KeepCrashInputs: true,
+		Engine:          engine,
+	}
+	fo.Telemetry = rec
+	s := fleet.New(dir, fo)
+	if err := s.Attach(target.Prog, opts, man); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("resuming %s fleet: %d workers, %d execs each\n", meta.Fuzzer, man.Workers, meta.Budget)
+	runFleetDurable(s, dir, meta.Fuzzer, showCrash)
+	closeTelemetry(rec)
+}
+
+// runFleetDurable installs signal handling and drives a fleet to
+// completion or interruption.
+func runFleetDurable(s *fleet.Supervisor, dir, fuzzerName string, showCrash bool) {
+	sigs := make(chan os.Signal, 4)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 	go func() {
-		<-sigs
-		fmt.Fprintln(os.Stderr, "pafuzz: interrupt received, checkpointing (again to force-quit)")
-		r.RequestStop()
-		<-sigs
-		os.Exit(130)
+		for range sigs {
+			fmt.Fprintln(os.Stderr, "pafuzz: interrupt received, checkpointing fleet (again to force-quit)")
+			s.Signal()
+		}
+	}()
+
+	res, err := s.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if res.Interrupted {
+		fmt.Printf("fleet interrupted; continue with: pafuzz -resume -o %s\n", dir)
+		return
+	}
+	printReport(fuzzerName, res.Merged, 1, showCrash)
+	for i, rep := range res.Workers {
+		if rep == nil {
+			continue
+		}
+		fmt.Printf("  worker %d: execs=%d queue=%d crashes=%d bugs=%d\n",
+			i, rep.Stats.Execs, rep.QueueLen, len(rep.Crashes), len(rep.Bugs))
+	}
+	if res.Restarts > 0 || res.Wedges > 0 || len(res.Retired) > 0 {
+		fmt.Printf("supervision: restarts=%d wedges=%d retired=%v\n", res.Restarts, res.Wedges, res.Retired)
+	}
+	for _, p := range res.Quarantined {
+		fmt.Printf("  poison-input: worker=%d execs=%d x%d %s\n", p.Worker, p.Execs, p.Count, p.Msg)
+	}
+	fmt.Printf("state: %s (manifest %s)\n", dir, filepath.Join(dir, fleet.ManifestName))
+}
+
+// runDurable installs signal handling and drives a durable campaign.
+// Repeated interrupts are handled idempotently by Runner.Signal: the
+// first checkpoints and stops gracefully, the second force-exits.
+func runDurable(r *campaign.Runner, dir, fuzzerName string, showCrash bool) {
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		for range sigs {
+			fmt.Fprintln(os.Stderr, "pafuzz: interrupt received, checkpointing (again to force-quit)")
+			r.Signal()
+		}
 	}()
 
 	rep, interrupted, err := r.Run()

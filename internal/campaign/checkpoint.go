@@ -219,6 +219,7 @@ func CanonicalReport(r *fuzz.Report) ([]byte, error) {
 		History    []fuzz.HistPoint
 		MapCount   int
 		Faults     []fuzz.InternalFault
+		Poison     []fuzz.PoisonRec
 	}{}
 	if r != nil {
 		flat.Stats = r.Stats
@@ -229,6 +230,7 @@ func CanonicalReport(r *fuzz.Report) ([]byte, error) {
 		flat.History = r.History
 		flat.MapCount = r.MapCount
 		flat.Faults = r.Faults
+		flat.Poison = r.Poison
 		for _, k := range r.BugKeys() {
 			flat.Bugs = append(flat.Bugs, bugRec{Key: k, Rec: r.Bugs[k]})
 		}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync/atomic"
 
 	"repro/internal/cfg"
@@ -31,6 +32,16 @@ type Config struct {
 	// reaches it. The fault-injection and determinism tests use it to
 	// interrupt campaigns at exact, reproducible points.
 	StopAfter int64
+	// Boundary, when non-nil, runs at every queue-entry boundary before
+	// the runner's own checkpoint logic. Returning false stops the
+	// campaign immediately WITHOUT writing a checkpoint — the fleet
+	// supervisor uses this to abandon a stale worker attempt (its
+	// replacement owns the state directory now) and to park workers at
+	// sync barriers.
+	Boundary func(*fuzz.Fuzzer) bool
+	// Exit is called to terminate the process on a forced (second)
+	// signal. Defaults to os.Exit; tests inject a recorder.
+	Exit func(code int)
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Keep <= 0 {
 		c.Keep = 2
+	}
+	if c.Exit == nil {
+		c.Exit = os.Exit
 	}
 	return c
 }
@@ -60,6 +74,7 @@ type Runner struct {
 
 	lastCkpt int64
 	stop     atomic.Bool
+	signals  atomic.Int64
 }
 
 // NewRunner builds a runner over the state directory dir.
@@ -78,6 +93,32 @@ func (r *Runner) Meta() Meta { return r.meta }
 // with interrupted=true. Safe to call from any goroutine (signal
 // handlers).
 func (r *Runner) RequestStop() { r.stop.Store(true) }
+
+// Signal handles one delivered interrupt and is idempotent across
+// repeats: the first call requests a graceful stop (final checkpoint at
+// the next queue-entry boundary), the second forces immediate exit
+// after a best-effort checkpoint, and further signals are no-ops (the
+// exit is already in flight). The forced checkpoint may race the fuzz
+// goroutine mid-mutation; that is safe by design — sealed checkpoints
+// are checksummed, so a torn write is detected on resume and LoadLatest
+// falls back to the previous good one. Safe to call from a signal
+// handler goroutine.
+func (r *Runner) Signal() {
+	switch r.signals.Add(1) {
+	case 1:
+		r.RequestStop()
+	case 2:
+		func() {
+			defer func() { recover() }() // state may be mid-mutation
+			if r.f != nil {
+				if err := r.checkpoint(); err != nil {
+					r.logf("forced-exit checkpoint failed: %v", err)
+				}
+			}
+		}()
+		r.cfg.Exit(130)
+	}
+}
 
 // Start begins a fresh campaign: builds the fuzzer, executes the seed
 // corpus, and writes checkpoint zero so the campaign is resumable from
@@ -143,6 +184,12 @@ func (r *Runner) Run() (rep *fuzz.Report, interrupted bool, err error) {
 // hook runs at every queue-entry boundary inside the fuzz loop — the
 // deterministic safe points where full state can be captured.
 func (r *Runner) hook(f *fuzz.Fuzzer) bool {
+	if r.cfg.Boundary != nil && !r.cfg.Boundary(f) {
+		// The supervisor abandoned this attempt (or wants an immediate
+		// stop without persisting): no checkpoint, the state dir belongs
+		// to someone else now.
+		return false
+	}
 	if r.cfg.StopAfter > 0 && f.Execs() >= r.cfg.StopAfter {
 		r.stop.Store(true)
 	}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+// TestSignalIdempotent pins the interrupt protocol: the first signal
+// requests a graceful stop (final checkpoint at the next boundary),
+// the second forces exit 130 after a best-effort checkpoint, and any
+// further signals are no-ops.
+func TestSignalIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	var exits []int
+	r := NewRunner(dir, Config{
+		Interval: testInterval,
+		Exit:     func(code int) { exits = append(exits, code) },
+	})
+	if err := r.Start(compileT(t), testOpts(), testMeta(), testSeeds); err != nil {
+		t.Fatal(err)
+	}
+
+	// First signal before the run: the stop request makes Run return
+	// interrupted at its first boundary, with a shutdown checkpoint.
+	r.Signal()
+	rep, interrupted, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted || rep != nil {
+		t.Fatalf("first signal did not interrupt the run (interrupted=%v rep=%v)", interrupted, rep)
+	}
+	if len(exits) != 0 {
+		t.Fatalf("first signal exited the process: %v", exits)
+	}
+	stopped := r.Fuzzer().Execs()
+
+	// Second signal: best-effort checkpoint, then forced exit 130.
+	r.Signal()
+	if len(exits) != 1 || exits[0] != 130 {
+		t.Fatalf("second signal exits = %v, want [130]", exits)
+	}
+	ck, _, err := LoadLatest(OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("no checkpoint after forced exit: %v", err)
+	}
+	if ck.Snap.Stats.Execs != stopped {
+		t.Fatalf("forced-exit checkpoint at %d execs, want %d", ck.Snap.Stats.Execs, stopped)
+	}
+
+	// Further signals are no-ops: the exit is already in flight.
+	r.Signal()
+	r.Signal()
+	if len(exits) != 1 {
+		t.Fatalf("repeated signals exited again: %v", exits)
+	}
+}
+
+// TestBoundaryAbandon pins the fleet seam: a Boundary hook returning
+// false stops the campaign immediately WITHOUT writing a checkpoint —
+// the state directory still holds only what was durable before.
+func TestBoundaryAbandon(t *testing.T) {
+	dir := t.TempDir()
+	var boundaries int
+	r := NewRunner(dir, Config{
+		Interval: 1 << 40, // no periodic checkpoints: only checkpoint zero
+		Boundary: func(f *fuzz.Fuzzer) bool {
+			boundaries++
+			return f.Execs() < testStop
+		},
+	})
+	if err := r.Start(compileT(t), testOpts(), testMeta(), testSeeds); err != nil {
+		t.Fatal(err)
+	}
+	rep, interrupted, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted || rep != nil {
+		t.Fatalf("boundary=false did not interrupt (interrupted=%v rep=%v)", interrupted, rep)
+	}
+	if boundaries == 0 {
+		t.Fatal("boundary hook never ran")
+	}
+	ck, _, err := LoadLatest(OSFS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Snap.Stats.Execs; got >= testStop {
+		t.Fatalf("abandonment wrote a checkpoint at %d execs; only checkpoint zero should exist", got)
+	}
+}

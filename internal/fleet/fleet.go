@@ -1,0 +1,764 @@
+// Package fleet runs N independent fuzz.Fuzzer workers under one
+// supervisor with full fault containment: a heartbeat watchdog that
+// declares wedged workers and recycles them, crash-loop handling with
+// exponential backoff and poison-input quarantine, deterministic
+// periodic corpus sync at exec-count boundaries, and fleet-level
+// checkpoint/resume composing the campaign package's per-worker
+// snapshots with a fleet manifest.
+//
+// Determinism model: each worker is a fully deterministic campaign
+// (seeded RNG, exec-count budget). Corpus sync happens at epoch
+// boundaries — epoch e is the first queue-entry boundary where the
+// worker's exec counter reaches e*SyncEvery — through a publication
+// board: a worker arriving at epoch e publishes the queue entries it
+// added since its previous sync, parks at a barrier until every live
+// worker has arrived at (or passed) e, then imports the other workers'
+// publications for the epochs it crossed, in (epoch, worker) order.
+// Publications are a pure function of worker state, so a worker
+// replaying after a crash republishes identical content, and what a
+// worker imports depends only on epoch tags, never on goroutine
+// scheduling. The final merged report is therefore a deterministic
+// function of (seed, budget, workers, sync cadence) — as long as no
+// worker is retired, retirement being the one wall-clock-driven
+// (graceful-degradation) transition.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cfg"
+	"repro/internal/fuzz"
+	"repro/internal/telemetry"
+)
+
+// ChaosAction is what the chaos hook may inject at a worker boundary.
+type ChaosAction int
+
+// Chaos actions.
+const (
+	// ChaosNone injects nothing.
+	ChaosNone ChaosAction = iota
+	// ChaosPanic panics on the worker goroutine — a failure the
+	// fuzzer's own per-execution quarantine cannot contain, modeling a
+	// corrupted worker.
+	ChaosPanic
+	// ChaosWedge blocks the worker until the watchdog abandons it,
+	// modeling a hung execution.
+	ChaosWedge
+)
+
+// Options tunes a fleet Supervisor.
+type Options struct {
+	// Workers is the number of parallel fuzzing workers (default 2).
+	Workers int
+	// SyncEvery is the per-worker exec-count sync cadence: workers
+	// exchange corpus entries at multiples of this counter. 0 disables
+	// corpus sync (workers run fully independently); the pafuzz CLI
+	// defaults its -sync-every flag to 20000.
+	SyncEvery int64
+	// Watchdog is the wall-clock deadline after which a worker that has
+	// not reached a queue-entry boundary is declared wedged and
+	// recycled. 0 disables the watchdog.
+	Watchdog time.Duration
+	// MaxRestarts is how many consecutive failures (panics or wedges
+	// without durable progress in between) a worker survives before it
+	// is retired (default 3).
+	MaxRestarts int
+	// BackoffBase/BackoffMax bound the exponential restart backoff
+	// (defaults 50ms and 2s). Jitter is derived deterministically from
+	// the fleet seed so backoff timing never consumes campaign
+	// randomness.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CkptEvery is each worker's periodic checkpoint interval in execs
+	// (campaign.Config.Interval; default 25000).
+	CkptEvery int64
+	// Keep is per-worker checkpoint retention (default 2).
+	Keep int
+	// FS is the filesystem for all fleet state (default campaign.OSFS).
+	FS campaign.FS
+	// Log receives supervisor warnings and lifecycle notes.
+	Log io.Writer
+	// Telemetry, when non-nil, receives per-worker snapshots
+	// (PublishWorker) and fleet aggregates (Publish).
+	Telemetry *telemetry.Recorder
+	// StopAfter, when positive, interrupts the fleet once any worker's
+	// exec counter reaches it — the reproducible mid-run (and, chosen
+	// near a sync boundary, mid-sync) interruption the resume tests use.
+	StopAfter int64
+	// Chaos, when non-nil, is consulted at every worker queue-entry
+	// boundary and may inject a panic or a wedge. Keyed by (worker,
+	// generation, execs): faults keyed to a generation do not re-fire
+	// on the restarted generation, which is what makes a chaos run's
+	// final report byte-identical to a clean run's.
+	Chaos func(worker, gen int, execs int64) ChaosAction
+	// Sleep is injectable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+	// Exit is called on a forced (second) Signal. Defaults to os.Exit.
+	Exit func(code int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.SyncEvery < 0 {
+		o.SyncEvery = 0
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.CkptEvery <= 0 {
+		o.CkptEvery = 25000
+	}
+	if o.Keep <= 0 {
+		o.Keep = 2
+	}
+	if o.FS == nil {
+		o.FS = campaign.OSFS{}
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.Exit == nil {
+		o.Exit = os.Exit
+	}
+	return o
+}
+
+// WorkerSeed derives worker i's RNG seed from the fleet seed. Worker 0
+// keeps the fleet seed unchanged — a 1-worker fleet is byte-identical
+// to the single-fuzzer campaign with the same seed — and the others get
+// independent streams via splitmix64.
+func WorkerSeed(seed int64, worker int) int64 {
+	if worker == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(worker)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63)) // keep seeds non-negative for readability
+}
+
+// Worker lifecycle states (supervisor-side; guarded by Supervisor.mu).
+type workerState int
+
+const (
+	stIdle workerState = iota
+	stRunning
+	stBackoff
+	stDone
+	stRetired
+	stStopped
+)
+
+func (s workerState) String() string {
+	switch s {
+	case stIdle:
+		return "idle"
+	case stRunning:
+		return "running"
+	case stBackoff:
+		return "backoff"
+	case stDone:
+		return "done"
+	case stRetired:
+		return "retired"
+	case stStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// worker is the supervisor-side record of one fuzzing worker.
+type worker struct {
+	id   int
+	dir  string
+	seed int64
+
+	// Guarded by Supervisor.mu.
+	gen       int         // current attempt generation; bumped to abandon stale attempts
+	state     workerState //
+	fails     int         // consecutive failures without durable progress
+	arrived   int         // highest sync epoch this worker has published for
+	lastStart int64       // exec counter the current/last attempt resumed from
+	runner    *campaign.Runner
+	abandon   chan struct{} // closed to release a wedged (chaos-blocked) attempt
+	wedged    chan struct{} // closed by the watchdog to wake the manage loop
+	report    *fuzz.Report  // final report once state == stDone
+
+	// Watchdog heartbeat, written lock-free from the worker goroutine.
+	beat      atomic.Int64 // unix nanos of the last boundary
+	beatExecs atomic.Int64 // exec counter at the last boundary
+	parked    atomic.Bool  // parked at a sync barrier (watchdog-exempt)
+	curInput  atomic.Pointer[[]byte]
+	lastTelem atomic.Int64 // exec counter at the last telemetry publish
+}
+
+// attemptResult is what one worker attempt reports back to its manage
+// loop.
+type attemptResult struct {
+	gen         int
+	rep         *fuzz.Report
+	interrupted bool
+	err         error
+	panicked    bool
+	panicMsg    string
+	input       []byte
+	execs       int64
+}
+
+// Supervisor owns a fleet of workers over one campaign.
+type Supervisor struct {
+	dir  string
+	opts Options
+
+	prog *cfg.Program
+	base fuzz.Options
+	meta campaign.Meta
+	sigs atomic.Int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	board    *board
+	workers  []*worker
+	seeded   []int
+	stopping bool
+	quar     []fuzz.PoisonRec
+	restarts int
+	wedges   int
+
+	stopCh    chan struct{}
+	watchStop chan struct{}
+	watchDone chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a supervisor rooted at the fleet state directory dir.
+func New(dir string, opts Options) *Supervisor {
+	s := &Supervisor{dir: dir, opts: opts.withDefaults(), stopCh: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// workerDir is worker i's campaign state directory.
+func (s *Supervisor) workerDir(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("worker-%d", i))
+}
+
+// workerOpts derives worker i's fuzz options from the base options:
+// its own RNG stream, no status writer or recorder (the supervisor owns
+// observability — per-worker recorders would clobber each other's
+// single publish slot).
+func (s *Supervisor) workerOpts(i int) fuzz.Options {
+	o := s.base
+	o.Seed = WorkerSeed(s.meta.Seed, i)
+	o.Status = nil
+	o.Telemetry = nil
+	o.KeepCrashInputs = true
+	return o
+}
+
+// Start begins a fresh fleet campaign: every worker executes the seed
+// corpus, writes checkpoint zero, and the initial manifest is
+// persisted. meta.Budget is the per-worker execution budget;
+// meta.Seed the fleet seed.
+func (s *Supervisor) Start(prog *cfg.Program, base fuzz.Options, meta campaign.Meta, seeds [][]byte) error {
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	s.prog, s.base, s.meta = prog, base, meta
+	if err := s.opts.FS.MkdirAll(s.dir); err != nil {
+		return err
+	}
+	s.board = newBoard()
+	s.seeded = make([]int, s.opts.Workers)
+	for i := 0; i < s.opts.Workers; i++ {
+		w := &worker{id: i, dir: s.workerDir(i), seed: WorkerSeed(meta.Seed, i)}
+		wm := meta
+		wm.Seed = w.seed
+		r := campaign.NewRunner(w.dir, campaign.Config{
+			FS: s.opts.FS, Interval: s.opts.CkptEvery, Keep: s.opts.Keep, Log: s.opts.Log,
+		})
+		if err := r.Start(prog, s.workerOpts(i), wm, seeds); err != nil {
+			return fmt.Errorf("fleet: worker %d: %w", i, err)
+		}
+		s.seeded[i] = r.Fuzzer().QueueLen()
+		s.workers = append(s.workers, w)
+	}
+	s.mu.Lock()
+	err := s.persistManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("fleet: initial manifest: %w", err)
+	}
+	return nil
+}
+
+// Attach resumes a fleet from its manifest and the workers' own
+// checkpoints. base must reproduce the original campaign's options
+// (the caller derives them from man.Meta, exactly as single-campaign
+// resume does).
+func (s *Supervisor) Attach(prog *cfg.Program, base fuzz.Options, man *Manifest) error {
+	if man.Workers != s.opts.Workers && s.opts.Workers != 2 { // 2 is the default: adopt silently
+		s.logf("fleet: manifest has %d workers, overriding -workers %d", man.Workers, s.opts.Workers)
+	}
+	s.opts.Workers = man.Workers
+	s.opts.SyncEvery = man.SyncEvery
+	s.opts.MaxRestarts = man.MaxRestarts
+	s.prog, s.base, s.meta = prog, base, man.Meta
+	s.board = boardFromManifest(man)
+	s.seeded = append([]int(nil), man.Seeded...)
+	s.quar = append([]fuzz.PoisonRec(nil), man.Quarantine...)
+	s.restarts, s.wedges = man.Restarts, man.Wedges
+	for i := 0; i < man.Workers; i++ {
+		w := &worker{id: i, dir: s.workerDir(i), seed: WorkerSeed(man.Meta.Seed, i)}
+		if i < len(man.Retired) && man.Retired[i] {
+			w.state = stRetired
+		}
+		// Re-derive the barrier arrival watermark: the highest epoch the
+		// worker has published for. Waiting peers released by those
+		// arrivals stay released across the resume.
+		for _, p := range man.Pubs {
+			if p.Worker == i && p.Epoch > w.arrived {
+				w.arrived = p.Epoch
+			}
+		}
+		s.workers = append(s.workers, w)
+	}
+	return nil
+}
+
+// Result is a finished (or interrupted) fleet campaign.
+type Result struct {
+	// Merged folds every worker's report: crash/bug dedup via BugKeys,
+	// poison quarantine attached, Queue the concatenation of worker
+	// queues. Nil when Interrupted.
+	Merged *fuzz.Report
+	// Workers holds the per-worker final reports (nil entries for
+	// workers interrupted mid-run — impossible unless Interrupted).
+	Workers []*fuzz.Report
+	// Quarantined lists the poison-input findings (also merged into
+	// Merged.Poison).
+	Quarantined []fuzz.PoisonRec
+	// Lifecycle counters.
+	Restarts int
+	Wedges   int
+	Retired  []int
+	// Interrupted reports a stop (signal or StopAfter) before every
+	// worker finished; resume with Attach.
+	Interrupted bool
+}
+
+// Run drives the fleet to completion (every worker done or retired) or
+// interruption. It is not reentrant.
+func (s *Supervisor) Run() (*Result, error) {
+	if s.prog == nil {
+		return nil, fmt.Errorf("fleet: Run before Start/Attach")
+	}
+	s.startWatchdog()
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go s.manage(w)
+	}
+	s.wg.Wait()
+	s.stopWatchdog()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.persistManifestLocked(); err != nil {
+		s.logf("fleet: final manifest: %v", err)
+	}
+	res := &Result{
+		Quarantined: append([]fuzz.PoisonRec(nil), s.quar...),
+		Restarts:    s.restarts,
+		Wedges:      s.wedges,
+	}
+	if s.stopping {
+		res.Interrupted = true
+		return res, nil
+	}
+	reports := make([]*fuzz.Report, len(s.workers))
+	for i, w := range s.workers {
+		switch w.state {
+		case stDone:
+			reports[i] = w.report
+		case stRetired:
+			res.Retired = append(res.Retired, w.id)
+			rep, err := s.harvest(w)
+			if err != nil {
+				s.logf("fleet: harvesting retired worker %d: %v", w.id, err)
+				continue
+			}
+			reports[i] = rep
+		default:
+			return nil, fmt.Errorf("fleet: worker %d ended in state %v", w.id, w.state)
+		}
+	}
+	// Attach each worker's quarantined poison findings to its report so
+	// MergeReports folds and canonically sorts them.
+	for _, p := range s.quar {
+		if p.Worker >= 0 && p.Worker < len(reports) && reports[p.Worker] != nil {
+			reports[p.Worker].Poison = append(reports[p.Worker].Poison, p)
+		}
+	}
+	res.Workers = reports
+	merged := fuzz.MergeReports(reports...)
+	// The merged corpus is the union of worker queues, not the last
+	// worker's queue.
+	merged.Queue = nil
+	for _, rep := range reports {
+		if rep != nil {
+			merged.Queue = append(merged.Queue, rep.Queue...)
+		}
+	}
+	merged.QueueLen = len(merged.Queue)
+	res.Merged = merged
+	s.publishAggregateLocked()
+	return res, nil
+}
+
+// harvest restores a retired worker's last checkpoint and reports its
+// partial campaign — retirement degrades throughput, it never loses
+// corpus entries or findings.
+func (s *Supervisor) harvest(w *worker) (*fuzz.Report, error) {
+	ck, warns, err := campaign.LoadLatest(s.opts.FS, w.dir)
+	for _, warn := range warns {
+		s.logf("fleet: worker %d: %s", w.id, warn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := fuzz.Restore(s.prog, s.workerOpts(w.id), ck.Snap)
+	if err != nil {
+		return nil, err
+	}
+	return f.Report(), nil
+}
+
+// Stop requests a graceful fleet shutdown: each worker checkpoints at
+// its next safe boundary (or falls back to its last checkpoint when a
+// sync is pending) and Run returns Interrupted. Safe from any
+// goroutine; repeated calls are no-ops.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	s.setStoppingLocked()
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) setStoppingLocked() {
+	if s.stopping {
+		return
+	}
+	s.stopping = true
+	for _, w := range s.workers {
+		if w.runner != nil {
+			w.runner.RequestStop()
+		}
+	}
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+	}
+	s.cond.Broadcast()
+}
+
+// Signal handles one delivered interrupt, idempotently across repeats:
+// first — graceful Stop; second — forced exit (state already on disk:
+// checkpoints and manifest are written as the fleet runs, and sealed
+// frames make torn writes detectable on resume); further — no-op.
+func (s *Supervisor) Signal() {
+	switch s.sigs.Add(1) {
+	case 1:
+		s.Stop()
+	case 2:
+		s.opts.Exit(130)
+	}
+}
+
+// manage is worker w's supervision loop: it runs attempts, classifies
+// their endings (done, stopped, panicked, wedged), quarantines poison
+// inputs, applies backoff, and retires the worker after MaxRestarts
+// consecutive failures without durable progress.
+func (s *Supervisor) manage(w *worker) {
+	defer s.wg.Done()
+	defer s.cond.Broadcast() // whatever state we end in, wake barrier waiters
+	for {
+		s.mu.Lock()
+		if s.stopping {
+			w.state = stStopped
+			s.mu.Unlock()
+			return
+		}
+		if w.state == stRetired { // resumed-as-retired
+			s.mu.Unlock()
+			return
+		}
+		gen := w.gen
+		w.state = stRunning
+		// A zero heartbeat marks the attempt's startup phase (checkpoint
+		// load, RNG fast-forward, corpus re-calibration — proportional to
+		// prior campaign progress, so no fixed deadline fits it). The
+		// watchdog arms only once the first boundary stores a real beat.
+		w.beat.Store(0)
+		w.beatExecs.Store(0)
+		w.abandon = make(chan struct{})
+		w.wedged = make(chan struct{})
+		wedgedCh := w.wedged
+		s.mu.Unlock()
+
+		done := make(chan attemptResult, 1)
+		go s.attempt(w, gen, done)
+
+		var res attemptResult
+		wedge := false
+		select {
+		case res = <-done:
+		case <-wedgedCh:
+			wedge = true
+		}
+
+		s.mu.Lock()
+		if s.stopping {
+			w.state = stStopped
+			s.mu.Unlock()
+			return
+		}
+		switch {
+		case wedge || (res.interrupted && w.gen != gen):
+			// Watchdog declared the attempt wedged (it already recorded
+			// the poison input, bumped the generation, and released any
+			// chaos block). The interrupted case is the benign race where
+			// the abandoned attempt finished before our select noticed.
+			w.fails++
+			s.restarts++
+		case res.panicked:
+			s.addPoisonLocked(fuzz.PoisonRec{
+				Worker: w.id, Gen: gen, Msg: res.panicMsg,
+				Input: res.input, Execs: res.execs, Count: 1,
+			})
+			w.gen++ // generation-keyed chaos must not re-fire on replay
+			w.fails++
+			s.restarts++
+			s.logf("fleet: worker %d panicked at %d execs: %s", w.id, res.execs, res.panicMsg)
+		case res.err != nil:
+			w.gen++
+			w.fails++
+			s.restarts++
+			s.logf("fleet: worker %d attempt failed: %v", w.id, res.err)
+		case res.interrupted:
+			// Interrupted without stopping and with a current generation:
+			// StopAfter fired inside this worker's runner (checkpoint
+			// already written). Interrupt the whole fleet.
+			s.setStoppingLocked()
+			w.state = stStopped
+			s.mu.Unlock()
+			return
+		default:
+			w.report = res.rep
+			w.state = stDone
+			s.cond.Broadcast()
+			if err := s.persistManifestLocked(); err != nil {
+				s.logf("fleet: manifest after worker %d done: %v", w.id, err)
+			}
+			s.mu.Unlock()
+			return
+		}
+		if w.fails >= s.opts.MaxRestarts {
+			w.state = stRetired
+			s.cond.Broadcast()
+			if err := s.persistManifestLocked(); err != nil {
+				s.logf("fleet: manifest after worker %d retired: %v", w.id, err)
+			}
+			s.logf("fleet: worker %d retired after %d consecutive failures", w.id, w.fails)
+			s.mu.Unlock()
+			return
+		}
+		w.state = stBackoff
+		if err := s.persistManifestLocked(); err != nil {
+			s.logf("fleet: manifest after worker %d failure: %v", w.id, err)
+		}
+		delay := s.backoff(w.id, w.fails)
+		s.mu.Unlock()
+		s.logf("fleet: worker %d restarting from last checkpoint in %v (failure %d/%d)",
+			w.id, delay, w.fails, s.opts.MaxRestarts)
+		s.opts.Sleep(delay)
+	}
+}
+
+// backoff is the restart delay before failure number fails (1-based):
+// BackoffBase doubling per failure, capped at BackoffMax, plus up to
+// 50% deterministic jitter derived from the fleet seed — decorrelating
+// worker restarts without consuming campaign randomness.
+func (s *Supervisor) backoff(workerID, fails int) time.Duration {
+	d := s.opts.BackoffBase << (fails - 1)
+	if d > s.opts.BackoffMax || d <= 0 {
+		d = s.opts.BackoffMax
+	}
+	z := uint64(s.meta.Seed)*0x9E3779B97F4A7C15 + uint64(workerID)<<32 + uint64(fails)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	jitter := time.Duration(z % uint64(d/2+1))
+	return d + jitter
+}
+
+// attempt runs one worker generation: resume from the latest
+// checkpoint, fuzz under the fleet boundary hook, and report the
+// ending. Panics (chaos injection, corrupted state) are recovered here
+// with the poison input captured on this same goroutine.
+func (s *Supervisor) attempt(w *worker, gen int, out chan<- attemptResult) {
+	res := attemptResult{gen: gen}
+	var f *fuzz.Fuzzer
+	defer func() {
+		if p := recover(); p != nil {
+			res.panicked = true
+			res.panicMsg = fmt.Sprint(p)
+			if f != nil {
+				res.input = f.CurrentInput()
+				res.execs = f.Execs()
+			}
+		}
+		out <- res
+	}()
+
+	ck, warns, err := campaign.LoadLatest(s.opts.FS, w.dir)
+	for _, warn := range warns {
+		s.logf("fleet: worker %d: %s", w.id, warn)
+	}
+	if err != nil {
+		res.err = err
+		return
+	}
+	st := &syncState{}
+	if s.opts.SyncEvery > 0 {
+		st.lastSynced = int(ck.Snap.Stats.Execs / s.opts.SyncEvery)
+	}
+	st.pubIndex = s.pubIndexFor(w.id, st.lastSynced)
+
+	r := campaign.NewRunner(w.dir, campaign.Config{
+		FS: s.opts.FS, Interval: s.opts.CkptEvery, Keep: s.opts.Keep, Log: s.opts.Log,
+		StopAfter: s.opts.StopAfter,
+		Boundary:  func(f *fuzz.Fuzzer) bool { return s.boundary(w, gen, st, f) },
+	})
+	if err := r.Attach(s.prog, s.workerOpts(w.id), ck); err != nil {
+		res.err = err
+		return
+	}
+	f = r.Fuzzer()
+
+	s.mu.Lock()
+	if w.gen != gen {
+		s.mu.Unlock()
+		res.interrupted = true
+		return
+	}
+	w.runner = r
+	// Durable progress since the previous attempt started resets the
+	// consecutive-failure count: the worker is flapping only if it keeps
+	// dying without ever checkpointing further.
+	if ck.Snap.Stats.Execs > w.lastStart {
+		w.fails = 0
+	}
+	w.lastStart = ck.Snap.Stats.Execs
+	if s.stopping {
+		r.RequestStop()
+	}
+	s.mu.Unlock()
+
+	rep, interrupted, err := r.Run()
+	res.rep, res.interrupted, res.err = rep, interrupted, err
+	res.execs = f.Execs()
+}
+
+// pubIndexFor derives a worker's publication start index on resume: its
+// queue length at the end of its last completed sync — recorded on the
+// publication record — or its seeded queue length before any sync.
+// Guarded internally.
+func (s *Supervisor) pubIndexFor(workerID, lastSynced int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lastSynced <= 0 {
+		return s.seeded[workerID]
+	}
+	if p := s.board.get(workerID, lastSynced); p != nil && p.QLen > 0 {
+		return p.QLen
+	}
+	// The sync completed (the checkpoint proves it) but its QLen write
+	// was lost. Conservative fallback: republish from the seeded index;
+	// importers dedup re-sent inputs by novelty.
+	s.logf("fleet: worker %d: missing publication watermark for epoch %d", workerID, lastSynced)
+	return s.seeded[workerID]
+}
+
+// addPoisonLocked quarantines one poison-input finding, deduplicated by
+// (worker, message, input).
+func (s *Supervisor) addPoisonLocked(p fuzz.PoisonRec) {
+	for i := range s.quar {
+		if s.quar[i].Worker == p.Worker && s.quar[i].Msg == p.Msg && bytesEqual(s.quar[i].Input, p.Input) {
+			s.quar[i].Count += p.Count
+			return
+		}
+	}
+	s.quar = append(s.quar, p)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// persistManifestLocked atomically rewrites the fleet manifest from
+// current supervisor state. Publication records must be persisted
+// before any barrier release that could let a consumer import them —
+// every sync calls this right after adding its publication.
+func (s *Supervisor) persistManifestLocked() error {
+	m := &Manifest{
+		Workers:     s.opts.Workers,
+		SyncEvery:   s.opts.SyncEvery,
+		MaxRestarts: s.opts.MaxRestarts,
+		Meta:        s.meta,
+		Seeded:      append([]int(nil), s.seeded...),
+		Pubs:        s.board.list(),
+		Quarantine:  append([]fuzz.PoisonRec(nil), s.quar...),
+		Restarts:    s.restarts,
+		Wedges:      s.wedges,
+		Retired:     make([]bool, len(s.workers)),
+		Done:        make([]bool, len(s.workers)),
+	}
+	for i, w := range s.workers {
+		m.Retired[i] = w.state == stRetired
+		m.Done[i] = w.state == stDone
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return campaign.WriteFileAtomic(s.opts.FS, filepath.Join(s.dir, ManifestName), data)
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, format+"\n", args...)
+	}
+}

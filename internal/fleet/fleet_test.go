@@ -1,0 +1,385 @@
+package fleet_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cfg"
+	"repro/internal/fleet"
+	"repro/internal/fuzz"
+	"repro/internal/instrument"
+	"repro/internal/vm"
+)
+
+// testSrc has a shallow magic-byte abort plus a deeper out-of-bounds
+// write — the same program the campaign durability tests fuzz.
+const testSrc = `
+func main(input) {
+    if (len(input) < 4) { return 0; }
+    if (input[0] == 'A' && input[1] == 'B') {
+        abort();
+    }
+    var arr = alloc(16);
+    if (input[2] == 'C') {
+        arr[input[3] - 100] = 1;
+    }
+    return 0;
+}`
+
+const (
+	testBudget = 20000 // per-worker execution budget
+	testSync   = 6000  // sync epochs at 6k, 12k, 18k execs
+	testCkpt   = 2500
+)
+
+var testSeeds = [][]byte{[]byte("xxxx"), []byte("good")}
+
+func compileT(t testing.TB) *cfg.Program {
+	t.Helper()
+	p, err := cfg.Compile(testSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func testOpts() fuzz.Options {
+	return fuzz.Options{
+		Feedback:        instrument.FeedbackPath,
+		Seed:            7,
+		MapSize:         1 << 12,
+		Entry:           "main",
+		Limits:          vm.DefaultLimits(),
+		KeepCrashInputs: true,
+	}
+}
+
+func testMeta() campaign.Meta {
+	return campaign.Meta{Fuzzer: "path", Seed: 7, Budget: testBudget, MapSize: 1 << 12, Entry: "main"}
+}
+
+// fleetOpts is the baseline supervisor configuration for tests: real
+// sync and checkpoint cadence, no wall-clock sleeps.
+func fleetOpts(workers int) fleet.Options {
+	return fleet.Options{
+		Workers:   workers,
+		SyncEvery: testSync,
+		CkptEvery: testCkpt,
+		Sleep:     func(time.Duration) {},
+	}
+}
+
+// runFleet starts a fresh fleet in dir and runs it to its end state.
+func runFleet(t *testing.T, dir string, opts fleet.Options) *fleet.Result {
+	t.Helper()
+	s := fleet.New(dir, opts)
+	if err := s.Start(compileT(t), testOpts(), testMeta(), testSeeds); err != nil {
+		t.Fatalf("fleet start: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	return res
+}
+
+// canonical returns the report's canonical bytes with the poison
+// quarantine stripped — chaos-vs-clean comparisons are over the
+// fuzzing outcome, which injected faults must not perturb.
+func canonical(t *testing.T, rep *fuzz.Report) []byte {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	cp := *rep
+	cp.Poison = nil
+	data, err := campaign.CanonicalReport(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWorkerSeed(t *testing.T) {
+	if got := fleet.WorkerSeed(7, 0); got != 7 {
+		t.Fatalf("worker 0 seed = %d, want the fleet seed unchanged", got)
+	}
+	seen := map[int64]int{7: 0}
+	for i := 1; i < 16; i++ {
+		s := fleet.WorkerSeed(7, i)
+		if s < 0 {
+			t.Fatalf("worker %d seed negative: %d", i, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("workers %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+		if again := fleet.WorkerSeed(7, i); again != s {
+			t.Fatalf("worker %d seed not deterministic: %d vs %d", i, s, again)
+		}
+	}
+}
+
+// TestSingleWorkerByteIdentity is the fleet's base determinism anchor:
+// a 1-worker fleet — supervisor, checkpoints, sync machinery and all —
+// produces a final report byte-identical to a plain single fuzzer with
+// the same seed and budget.
+func TestSingleWorkerByteIdentity(t *testing.T) {
+	f, err := fuzz.New(compileT(t), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range testSeeds {
+		f.AddSeed(s)
+	}
+	f.Fuzz(testBudget)
+	rep := f.Report()
+	if len(rep.Bugs) == 0 {
+		t.Fatalf("baseline found no bugs in %d execs; the test program is too hard", rep.Stats.Execs)
+	}
+	want := canonical(t, rep)
+
+	res := runFleet(t, t.TempDir(), fleetOpts(1))
+	if res.Interrupted {
+		t.Fatal("1-worker fleet reported interrupted")
+	}
+	if got := canonical(t, res.Merged); !bytes.Equal(got, want) {
+		t.Fatalf("1-worker fleet differs from plain fuzzer (%d vs %d canonical bytes)", len(got), len(want))
+	}
+	if res.Restarts != 0 || len(res.Quarantined) != 0 {
+		t.Fatalf("clean 1-worker fleet recorded restarts=%d quarantined=%d", res.Restarts, len(res.Quarantined))
+	}
+}
+
+// TestFleetChaosDeterminism injects a worker panic and a worker wedge
+// and asserts full containment: the fleet restarts both workers from
+// their checkpoints, quarantines the poison inputs, and the final
+// merged report is byte-identical to an unfaulted run of the same
+// fleet — the replayed generations land in exactly the state the lost
+// ones would have reached.
+func TestFleetChaosDeterminism(t *testing.T) {
+	clean := runFleet(t, t.TempDir(), fleetOpts(2))
+	if clean.Interrupted {
+		t.Fatal("clean fleet interrupted")
+	}
+	want := canonical(t, clean.Merged)
+	if len(clean.Merged.Bugs) == 0 {
+		t.Fatal("clean fleet found no bugs; the test program is too hard")
+	}
+
+	opts := fleetOpts(2)
+	opts.Watchdog = 250 * time.Millisecond
+	// Generation-keyed faults: fire once on the first attempt, never on
+	// the replay.
+	opts.Chaos = func(worker, gen int, execs int64) fleet.ChaosAction {
+		switch {
+		case worker == 1 && gen == 0 && execs >= 3000:
+			return fleet.ChaosPanic
+		case worker == 0 && gen == 0 && execs >= 9000:
+			return fleet.ChaosWedge
+		}
+		return fleet.ChaosNone
+	}
+	res := runFleet(t, t.TempDir(), opts)
+	if res.Interrupted {
+		t.Fatal("chaos fleet interrupted")
+	}
+	if got := canonical(t, res.Merged); !bytes.Equal(got, want) {
+		t.Fatalf("chaos fleet differs from clean fleet (%d vs %d canonical bytes)", len(got), len(want))
+	}
+	if res.Restarts < 2 {
+		t.Fatalf("restarts = %d, want >= 2 (one panic, one wedge)", res.Restarts)
+	}
+	if res.Wedges < 1 {
+		t.Fatalf("wedges = %d, want >= 1", res.Wedges)
+	}
+	var sawPanic, sawWedge bool
+	for _, p := range res.Quarantined {
+		switch {
+		case p.Worker == 1 && strings.Contains(p.Msg, "injected worker panic"):
+			sawPanic = true
+		case p.Worker == 0 && strings.Contains(p.Msg, "watchdog"):
+			sawWedge = true
+		}
+	}
+	if !sawPanic || !sawWedge {
+		t.Fatalf("quarantine missing expected findings (panic=%v wedge=%v): %+v", sawPanic, sawWedge, res.Quarantined)
+	}
+	// The merged report carries the quarantine for evaluation output.
+	if len(res.Merged.Poison) == 0 {
+		t.Fatal("merged report has no poison findings attached")
+	}
+	if len(res.Retired) != 0 {
+		t.Fatalf("chaos fleet retired workers %v; faults should have been absorbed by restarts", res.Retired)
+	}
+}
+
+// TestFleetRetirementHarvest drives one worker into a crash loop with
+// no durable progress between failures: after MaxRestarts consecutive
+// failures it is retired, the rest of the fleet completes (the sync
+// barrier must release past a retired worker), and the retired
+// worker's last checkpoint is harvested into the merged report so its
+// corpus and findings are not lost.
+func TestFleetRetirementHarvest(t *testing.T) {
+	opts := fleetOpts(2)
+	opts.MaxRestarts = 2
+	opts.CkptEvery = 1 << 40 // only checkpoint zero: no durable progress, ever
+	opts.Chaos = func(worker, gen int, execs int64) fleet.ChaosAction {
+		if worker == 1 && execs >= 500 { // every generation: a true crash loop
+			return fleet.ChaosPanic
+		}
+		return fleet.ChaosNone
+	}
+	res := runFleet(t, t.TempDir(), opts)
+	if res.Interrupted {
+		t.Fatal("fleet interrupted")
+	}
+	if len(res.Retired) != 1 || res.Retired[0] != 1 {
+		t.Fatalf("retired = %v, want [1]", res.Retired)
+	}
+	if res.Restarts < opts.MaxRestarts {
+		t.Fatalf("restarts = %d, want >= %d", res.Restarts, opts.MaxRestarts)
+	}
+	if res.Workers[0] == nil || res.Workers[0].Stats.Execs < testBudget {
+		t.Fatal("worker 0 did not complete its budget despite worker 1 retiring")
+	}
+	if res.Workers[1] == nil {
+		t.Fatal("retired worker 1 was not harvested")
+	}
+	// Harvest recovered the checkpointed corpus: the merged queue holds
+	// worker 0's full corpus plus worker 1's seeded entries.
+	if len(res.Merged.Queue) <= len(res.Workers[0].Queue) {
+		t.Fatalf("merged queue (%d entries) does not extend worker 0's (%d): retired corpus lost",
+			len(res.Merged.Queue), len(res.Workers[0].Queue))
+	}
+	var quarantined bool
+	for _, p := range res.Quarantined {
+		if p.Worker == 1 && strings.Contains(p.Msg, "injected worker panic") {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("crash-loop input not quarantined: %+v", res.Quarantined)
+	}
+}
+
+// resumeFleet loads the manifest in dir and drives the fleet to
+// completion.
+func resumeFleet(t *testing.T, dir string, opts fleet.Options) *fleet.Result {
+	t.Helper()
+	man, err := fleet.LoadManifest(campaign.OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("load manifest: %v", err)
+	}
+	s := fleet.New(dir, opts)
+	if err := s.Attach(compileT(t), testOpts(), man); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	return res
+}
+
+// TestFleetResumeDeterminism interrupts a fleet exactly at a sync
+// epoch boundary (the boundary hook completes the sync, then the stop
+// lands), resumes it from the manifest plus per-worker checkpoints,
+// and asserts the final merged report is byte-identical to the same
+// fleet run uninterrupted.
+func TestFleetResumeDeterminism(t *testing.T) {
+	clean := runFleet(t, t.TempDir(), fleetOpts(2))
+	want := canonical(t, clean.Merged)
+
+	dir := t.TempDir()
+	opts := fleetOpts(2)
+	opts.StopAfter = 2 * testSync // lands on the epoch-2 sync boundary itself
+	res := runFleet(t, dir, opts)
+	if !res.Interrupted {
+		t.Fatal("StopAfter did not interrupt the fleet")
+	}
+
+	resumed := resumeFleet(t, dir, fleetOpts(2))
+	if resumed.Interrupted {
+		t.Fatal("resumed fleet interrupted again")
+	}
+	if got := canonical(t, resumed.Merged); !bytes.Equal(got, want) {
+		t.Fatalf("resumed fleet differs from uninterrupted fleet (%d vs %d canonical bytes)", len(got), len(want))
+	}
+}
+
+// TestFleetStopAnywhereResumes stops the fleet from another goroutine
+// at an arbitrary wall-clock moment — possibly mid-sync, with one
+// worker parked at the barrier and the other importing — and asserts
+// resume still converges to the uninterrupted result. This is the
+// kill-during-sync consistency guarantee: publications are persisted
+// before any barrier release, and a worker stopped with a sync pending
+// falls back to its pre-epoch checkpoint and replays the sync.
+func TestFleetStopAnywhereResumes(t *testing.T) {
+	clean := runFleet(t, t.TempDir(), fleetOpts(2))
+	want := canonical(t, clean.Merged)
+
+	dir := t.TempDir()
+	s := fleet.New(dir, fleetOpts(2))
+	if err := s.Start(compileT(t), testOpts(), testMeta(), testSeeds); err != nil {
+		t.Fatal(err)
+	}
+	timer := time.AfterFunc(30*time.Millisecond, s.Stop)
+	defer timer.Stop()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res
+	if res.Interrupted {
+		final = resumeFleet(t, dir, fleetOpts(2))
+		if final.Interrupted {
+			t.Fatal("resumed fleet interrupted without a stop request")
+		}
+	}
+	if got := canonical(t, final.Merged); !bytes.Equal(got, want) {
+		t.Fatalf("fleet stopped at an arbitrary point resumed to a different report (%d vs %d canonical bytes)", len(got), len(want))
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &fleet.Manifest{
+		Workers:     2,
+		SyncEvery:   testSync,
+		MaxRestarts: 3,
+		Meta:        testMeta(),
+		Seeded:      []int{2, 2},
+		Pubs: []fleet.Pub{
+			{Worker: 0, Epoch: 1, Inputs: [][]byte{[]byte("pub")}, QLen: 3},
+		},
+		Quarantine: []fuzz.PoisonRec{{Worker: 1, Msg: "boom", Input: []byte("bad"), Execs: 42, Count: 1}},
+		Restarts:   1,
+		Retired:    []bool{false, false},
+		Done:       []bool{false, true},
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fleet.DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 2 || got.SyncEvery != testSync || len(got.Pubs) != 1 ||
+		got.Pubs[0].QLen != 3 || len(got.Quarantine) != 1 || !got.Done[1] {
+		t.Fatalf("round trip mangled manifest: %+v", got)
+	}
+
+	// A torn write must be detected, not half-decoded.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := fleet.DecodeManifest(corrupt); err == nil {
+		t.Fatal("corrupted manifest decoded without error")
+	}
+	if _, err := fleet.DecodeManifest(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated manifest decoded without error")
+	}
+}

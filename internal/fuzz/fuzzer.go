@@ -146,6 +146,47 @@ type Options struct {
 	Telemetry *telemetry.Recorder
 }
 
+// Validate rejects misconfigured options before defaulting can mask
+// them: negative sizes and budgets, a non-power-of-two map, dictionary
+// tokens that can never fit the input cap, and out-of-range enum
+// values. New calls it on the raw (pre-default) options, so a zero
+// field still means "use the default" while a negative or contradictory
+// one is an error instead of silent behaviour.
+func (o Options) Validate() error {
+	if o.MapSize < 0 {
+		return fmt.Errorf("fuzz: MapSize %d is negative", o.MapSize)
+	}
+	if o.MapSize > 0 && o.MapSize&(o.MapSize-1) != 0 {
+		return fmt.Errorf("fuzz: MapSize %d is not a power of two", o.MapSize)
+	}
+	if o.MaxInputLen < 0 {
+		return fmt.Errorf("fuzz: MaxInputLen %d is negative", o.MaxInputLen)
+	}
+	if o.HistorySamples < 0 {
+		return fmt.Errorf("fuzz: HistorySamples %d is negative", o.HistorySamples)
+	}
+	if o.StatusPeriod < 0 {
+		return fmt.Errorf("fuzz: StatusPeriod %v is negative", o.StatusPeriod)
+	}
+	if o.StatusEvery < 0 {
+		return fmt.Errorf("fuzz: StatusEvery %d is negative", o.StatusEvery)
+	}
+	if o.Engine < EngineAuto || o.Engine > EngineInterp {
+		return fmt.Errorf("fuzz: unknown engine %d", int(o.Engine))
+	}
+	if o.Profile != ProfileAFLPlusPlus && o.Profile != ProfileAFL {
+		return fmt.Errorf("fuzz: unknown profile %d", int(o.Profile))
+	}
+	if o.MaxInputLen > 0 {
+		for i, tok := range o.Dict {
+			if len(tok) > o.MaxInputLen {
+				return fmt.Errorf("fuzz: dictionary token %d is %d bytes, exceeds MaxInputLen %d", i, len(tok), o.MaxInputLen)
+			}
+		}
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.MapSize == 0 {
 		o.MapSize = coverage.DefaultMapSize
@@ -347,6 +388,9 @@ type Fuzzer struct {
 
 // New constructs a fuzzer for prog.
 func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if prog.Func(opts.Entry) == nil {
 		return nil, fmt.Errorf("fuzz: program has no entry function %q", opts.Entry)
@@ -405,16 +449,52 @@ func (f *Fuzzer) Program() *cfg.Program { return f.prog }
 // Execs returns the campaign execution counter.
 func (f *Fuzzer) Execs() int64 { return f.stats.Execs }
 
+// StatsSnapshot returns a copy of the campaign counters. Unlike Report
+// it mutates nothing (Report re-culls the favored corpus), so it is
+// safe to call from boundary hooks without perturbing determinism.
+func (f *Fuzzer) StatsSnapshot() Stats { return f.stats }
+
+// UniqueCrashes returns the number of unique crashes by stack hash.
+func (f *Fuzzer) UniqueCrashes() int { return len(f.crashes) }
+
+// UniqueBugs returns the number of unique ground-truth bugs found.
+func (f *Fuzzer) UniqueBugs() int { return len(f.bugs) }
+
 // QueueLen returns the current queue size.
 func (f *Fuzzer) QueueLen() int { return len(f.queue) }
 
 // QueueInputs returns copies of all queue inputs (the saved corpus).
 func (f *Fuzzer) QueueInputs() [][]byte {
-	out := make([][]byte, len(f.queue))
-	for i, e := range f.queue {
-		out[i] = append([]byte(nil), e.Data...)
+	return f.QueueInputsFrom(0)
+}
+
+// QueueInputsFrom returns copies of the queue inputs from index i on —
+// the incremental publication set the fleet's corpus sync exchanges
+// (entries added since the worker's previous sync point).
+func (f *Fuzzer) QueueInputsFrom(i int) [][]byte {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(f.queue) {
+		return nil
+	}
+	out := make([][]byte, 0, len(f.queue)-i)
+	for _, e := range f.queue[i:] {
+		out = append(out, append([]byte(nil), e.Data...))
 	}
 	return out
+}
+
+// CurrentInput returns a copy of the queue entry the fuzz loop most
+// recently dispatched (nil outside a cycle). The fleet supervisor uses
+// it to quarantine the poison input when a worker attempt panics; it
+// must only be called from the goroutine running the fuzzer (the fuzz
+// loop itself, its boundary hook, or a recover() above Fuzz).
+func (f *Fuzzer) CurrentInput() []byte {
+	if f.midCycle && f.qi-1 >= 0 && f.qi-1 < len(f.queue) {
+		return append([]byte(nil), f.queue[f.qi-1].Data...)
+	}
+	return nil
 }
 
 func (f *Fuzzer) addToken(tok []byte) {

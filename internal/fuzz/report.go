@@ -1,8 +1,31 @@
 package fuzz
 
 import (
+	"bytes"
 	"sort"
 )
+
+// PoisonRec is one quarantined poison-input finding: an input whose
+// execution (or the queue-entry boundary right after it) took a worker
+// down hard enough that the fleet supervisor had to kill or recycle the
+// worker — a panic that escaped the fuzzer's own quarantine, or a wedge
+// the watchdog declared. These are fleet-level findings (package fleet
+// records them); they live on Report so MergeReports can fold them
+// across workers and the evaluation output stays deterministic.
+type PoisonRec struct {
+	// Worker and Gen identify which worker attempt the input poisoned.
+	Worker int
+	Gen    int
+	// Msg describes the failure ("injected worker panic", "watchdog:
+	// wedged 2s", ...). Records are deduplicated by (Msg, Input).
+	Msg string
+	// Input is the poison input (the entry being fuzzed at failure time).
+	Input []byte
+	// Execs is the worker execution counter when the input was
+	// quarantined; Count how many times the same (Msg, Input) recurred.
+	Execs int64
+	Count int
+}
 
 // Report summarises a finished campaign.
 type Report struct {
@@ -30,6 +53,10 @@ type Report struct {
 	// Faults lists quarantined internal faults (interpreter panics the
 	// campaign survived); the total count is Stats.InternalFaults.
 	Faults []InternalFault
+	// Poison lists quarantined poison-input findings (fleet-level worker
+	// kills; empty for single-fuzzer campaigns). Canonically sorted by
+	// (Worker, Execs, Msg).
+	Poison []PoisonRec
 }
 
 // Report snapshots the campaign state.
@@ -132,7 +159,33 @@ func MergeReports(reports ...*Report) *Report {
 				out.Faults = append(out.Faults, fr)
 			}
 		}
+		for _, pr := range r.Poison {
+			merged := false
+			for i := range out.Poison {
+				if out.Poison[i].Msg == pr.Msg && bytes.Equal(out.Poison[i].Input, pr.Input) {
+					out.Poison[i].Count += pr.Count
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out.Poison = append(out.Poison, pr)
+			}
+		}
 	}
+	// Poison findings sort canonically so fleet-mode evaluation output
+	// (eval_output.txt regeneration) is deterministic regardless of the
+	// order worker reports were merged in.
+	sort.Slice(out.Poison, func(i, j int) bool {
+		a, b := out.Poison[i], out.Poison[j]
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		if a.Execs != b.Execs {
+			return a.Execs < b.Execs
+		}
+		return a.Msg < b.Msg
+	})
 	for _, rec := range crashByHash {
 		out.Crashes = append(out.Crashes, rec)
 	}

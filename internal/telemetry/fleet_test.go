@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAggregateSumsAndMaxes(t *testing.T) {
+	a := Counters{Execs: 100, UniqueBugs: 2, QueueLen: 5, MaxDepth: 3, MapSize: 1 << 12}
+	b := Counters{Execs: 50, UniqueBugs: 1, QueueLen: 7, MaxDepth: 9}
+	got := Aggregate(a, b)
+	if got.Execs != 150 || got.UniqueBugs != 3 || got.QueueLen != 12 {
+		t.Fatalf("cumulative fields not summed: %+v", got)
+	}
+	if got.MaxDepth != 9 {
+		t.Fatalf("MaxDepth = %d, want max(3, 9)", got.MaxDepth)
+	}
+	if got.MapSize != 1<<12 {
+		t.Fatalf("MapSize = %d, want the first non-zero value", got.MapSize)
+	}
+}
+
+// TestWorkerAggregateMonotone runs two concurrent per-worker
+// publishers with monotonically increasing counters and a reader that
+// continuously aggregates. Each worker's published Execs only ever
+// grows, so the fleet aggregate must never be observed to decrease —
+// the per-worker slots are independent atomics, and a torn aggregate
+// (one worker's new value with another's stale one) is still a valid
+// intermediate state. Run under -race this also proves the publish
+// path is race-free against concurrent readers.
+func TestWorkerAggregateMonotone(t *testing.T) {
+	const steps = 2000
+	r := New(Config{})
+
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 1; i <= steps; i++ {
+				r.PublishWorker(id, Counters{
+					Execs:    int64(i),
+					QueueLen: int64(i % 7),
+					MaxDepth: int64(i % 5),
+				})
+			}
+		}(id)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var last int64
+	for {
+		agg := r.AggregateWorkers()
+		if agg.Execs < last {
+			t.Errorf("aggregate Execs decreased: %d -> %d", last, agg.Execs)
+			break
+		}
+		last = agg.Execs
+		select {
+		case <-done:
+			wg.Wait()
+			if got := r.AggregateWorkers().Execs; got != 2*steps {
+				t.Fatalf("final aggregate Execs = %d, want %d", got, 2*steps)
+			}
+			if ws := r.Workers(); len(ws) != 2 || ws[0].ID != 0 || ws[1].ID != 1 {
+				t.Fatalf("Workers() = %+v, want ids [0 1]", ws)
+			}
+			return
+		default:
+		}
+	}
+}

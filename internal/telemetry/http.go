@@ -69,6 +69,12 @@ func (r *Recorder) promMetrics() []promMetric {
 		g("pafuzz_novelty_per_sec", "Sampled novelty (queue-add) rate.", p.NoveltyPerSec),
 		g("pafuzz_crashes_per_sec", "Sampled crash rate.", p.CrashesPerSec),
 		g("pafuzz_timeouts_per_sec", "Sampled timeout rate.", p.TimeoutsPerSec),
+		g("pafuzz_fleet_workers", "Configured fleet worker count (0 for single campaigns).", float64(s.FleetWorkers)),
+		g("pafuzz_fleet_active", "Fleet workers currently running or parked at a sync barrier.", float64(s.FleetActive)),
+		c("pafuzz_fleet_restarts_total", "Fleet worker restarts (panic or wedge recoveries).", s.FleetRestarts),
+		c("pafuzz_fleet_wedges_total", "Watchdog wedge declarations.", s.FleetWedges),
+		c("pafuzz_fleet_retired_total", "Workers retired after repeated failures.", s.FleetRetired),
+		c("pafuzz_fleet_quarantined_total", "Poison inputs quarantined by the fleet supervisor.", s.FleetQuarantined),
 	}
 }
 
@@ -77,6 +83,23 @@ func (r *Recorder) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	for _, m := range r.promMetrics() {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+	// Per-worker series for fleet campaigns, labeled by worker id.
+	if ws := r.Workers(); len(ws) > 0 {
+		for _, m := range []struct {
+			name, help, typ string
+			val             func(Counters) int64
+		}{
+			{"pafuzz_worker_execs_total", "Per-worker target executions.", "counter", func(c Counters) int64 { return c.Execs }},
+			{"pafuzz_worker_queue_depth", "Per-worker queue size.", "gauge", func(c Counters) int64 { return c.QueueLen }},
+			{"pafuzz_worker_crash_execs_total", "Per-worker crashing executions.", "counter", func(c Counters) int64 { return c.CrashExecs }},
+			{"pafuzz_worker_unique_bugs_total", "Per-worker unique ground-truth bugs.", "counter", func(c Counters) int64 { return c.UniqueBugs }},
+		} {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+			for _, w := range ws {
+				fmt.Fprintf(&b, "%s{worker=\"%d\"} %d\n", m.name, w.ID, m.val(w.Counters))
+			}
+		}
 	}
 	// Stage latency histograms in Prometheus histogram form: le labels
 	// are the power-of-two bucket upper bounds in seconds, cumulative.

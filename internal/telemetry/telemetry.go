@@ -20,6 +20,7 @@ package telemetry
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,63 @@ type Counters struct {
 	HavocExecs  int64
 	SpliceExecs int64
 	CmplogExecs int64
+
+	// Fleet supervision counters (zero for single-fuzzer campaigns).
+	// The fleet supervisor fills these on the aggregate snapshot it
+	// publishes; per-worker snapshots leave them zero.
+	FleetWorkers     int64 // configured worker count
+	FleetActive      int64 // workers currently running or parked at a sync barrier
+	FleetRestarts    int64 // worker restarts (panic or wedge recoveries)
+	FleetWedges      int64 // watchdog wedge declarations
+	FleetRetired     int64 // workers retired after K consecutive failures
+	FleetQuarantined int64 // poison inputs quarantined
+}
+
+// Aggregate sums counter sets across fleet workers: cumulative totals
+// and gauge fields alike are added (the fleet-wide queue depth is the
+// sum of per-worker queues), except MaxDepth and CurItem which take the
+// maximum, and MapSize which is per-worker identical so the first
+// non-zero value is kept.
+func Aggregate(cs ...Counters) Counters {
+	var out Counters
+	for _, c := range cs {
+		out.Execs += c.Execs
+		out.Timeouts += c.Timeouts
+		out.CrashExecs += c.CrashExecs
+		out.TotalSteps += c.TotalSteps
+		out.Cycles += c.Cycles
+		out.Added += c.Added
+		out.UniqueCrashes += c.UniqueCrashes
+		out.UniqueBugs += c.UniqueBugs
+		out.AFLUniqueCrashes += c.AFLUniqueCrashes
+		out.InternalFaults += c.InternalFaults
+		out.QueueLen += c.QueueLen
+		out.Favored += c.Favored
+		out.PendingTotal += c.PendingTotal
+		out.PendingFavored += c.PendingFavored
+		out.CoverageCount += c.CoverageCount
+		out.CoverageBits += c.CoverageBits
+		out.SeedExecs += c.SeedExecs
+		out.HavocExecs += c.HavocExecs
+		out.SpliceExecs += c.SpliceExecs
+		out.CmplogExecs += c.CmplogExecs
+		out.FleetWorkers += c.FleetWorkers
+		out.FleetActive += c.FleetActive
+		out.FleetRestarts += c.FleetRestarts
+		out.FleetWedges += c.FleetWedges
+		out.FleetRetired += c.FleetRetired
+		out.FleetQuarantined += c.FleetQuarantined
+		if c.MaxDepth > out.MaxDepth {
+			out.MaxDepth = c.MaxDepth
+		}
+		if c.CurItem > out.CurItem {
+			out.CurItem = c.CurItem
+		}
+		if out.MapSize == 0 {
+			out.MapSize = c.MapSize
+		}
+	}
+	return out
 }
 
 // Snapshot is one published, immutable view of the counters.
@@ -137,6 +195,13 @@ type Recorder struct {
 	prev   *Snapshot // last sampled snapshot, for rate derivation
 	afl    *AFLOutput
 
+	// Per-worker snapshot slots for fleet campaigns. The map is guarded
+	// by wmu (slots are created once per worker); each slot is an atomic
+	// pointer, so the per-worker publish path is lock-free after the
+	// first call, and readers never block publishers.
+	wmu     sync.Mutex
+	workers map[int]*atomic.Pointer[Snapshot]
+
 	collectDone chan struct{}
 	collectStop chan struct{}
 }
@@ -178,6 +243,67 @@ func (r *Recorder) Publish(c Counters) {
 // Latest returns the most recently published snapshot (nil before the
 // first Publish).
 func (r *Recorder) Latest() *Snapshot { return r.cur.Load() }
+
+// PublishWorker stores a per-worker counter snapshot (fleet campaigns).
+// Safe to call concurrently from any number of worker publishers; each
+// worker id has its own slot, so publishers never clobber each other.
+func (r *Recorder) PublishWorker(id int, c Counters) {
+	r.wmu.Lock()
+	if r.workers == nil {
+		r.workers = make(map[int]*atomic.Pointer[Snapshot])
+	}
+	slot, ok := r.workers[id]
+	if !ok {
+		slot = new(atomic.Pointer[Snapshot])
+		r.workers[id] = slot
+	}
+	r.wmu.Unlock()
+	now := r.now()
+	slot.Store(&Snapshot{Counters: c, When: now, Elapsed: r.base + now.Sub(r.start)})
+}
+
+// WorkerSnapshot pairs a worker id with its latest published snapshot.
+type WorkerSnapshot struct {
+	ID int
+	*Snapshot
+}
+
+// Workers returns the latest snapshot of every fleet worker that has
+// published, sorted by worker id.
+func (r *Recorder) Workers() []WorkerSnapshot {
+	r.wmu.Lock()
+	ids := make([]int, 0, len(r.workers))
+	slots := make([]*atomic.Pointer[Snapshot], 0, len(r.workers))
+	for id := range r.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		slots = append(slots, r.workers[id])
+	}
+	r.wmu.Unlock()
+	out := make([]WorkerSnapshot, 0, len(ids))
+	for i, id := range ids {
+		if s := slots[i].Load(); s != nil {
+			out = append(out, WorkerSnapshot{ID: id, Snapshot: s})
+		}
+	}
+	return out
+}
+
+// AggregateWorkers sums the latest per-worker snapshots into one
+// fleet-wide counter set. Because each worker's counters are cumulative
+// and its slot only ever advances, the aggregate is monotone: no
+// interleaving of publishes and reads can make a later aggregate
+// smaller than an earlier one.
+func (r *Recorder) AggregateWorkers() Counters {
+	ws := r.Workers()
+	cs := make([]Counters, len(ws))
+	for i, w := range ws {
+		cs[i] = w.Counters
+	}
+	return Aggregate(cs...)
+}
 
 // SetInfo replaces the campaign identity (e.g. once the resolved
 // engine is known).
