@@ -18,8 +18,13 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/fuzz"
+	"repro/internal/instrument"
 	"repro/internal/subjects"
 	"repro/internal/vm"
 )
@@ -35,6 +40,8 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		tracePath   = flag.String("trace", "", "write a runtime execution trace of the run to this file (inspect with go tool trace)")
+		engineName  = flag.String("engine", "", "also re-execute the input in a loop under this execution engine (bytecode|cgt|interp) so -cpuprofile/-memprofile capture engine hot paths")
+		engineExecs = flag.Int("execs", 10000, "repeat count for the -engine profiling loop")
 	)
 	flag.Parse()
 
@@ -154,6 +161,69 @@ func main() {
 		}
 		fmt.Printf("  %-16s path %-6d x%-6d  %s\n", pc.Func, pc.PathID, pc.Count, strings.Join(blocks, "→"))
 	}
+
+	if *engineName != "" {
+		runEngineLoop(target, *engineName, input, *engineExecs)
+	}
+}
+
+// runEngineLoop re-executes the input under the selected engine so the
+// process-level CPU/mem profiles capture the engine's hot paths rather
+// than the path profiler's. For the CGT engine every map cell the
+// warm-up run touched is marked consumed before patching: replaying a
+// fixed input can never reproduce novelty past its first execution, so
+// the patched run is the steady-state fast path a campaign would
+// execute for this input.
+func runEngineLoop(target *core.Target, engineName string, input []byte, execs int) {
+	eng, err := fuzz.ParseEngine(engineName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	lim := vm.DefaultLimits()
+	m := coverage.NewMap(coverage.DefaultMapSize)
+	var run func() vm.Result
+	switch eng {
+	case fuzz.EngineInterp:
+		tr, err := instrument.New(instrument.FeedbackPath, target.Prog, m, instrument.Config{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		run = func() vm.Result { return vm.Run(target.Prog, target.Entry, input, tr, lim) }
+	default:
+		cp, ok := instrument.CompiledFor(instrument.FeedbackPath, target.Prog, instrument.Config{})
+		if !ok {
+			fatalf("path feedback has no bytecode lowering")
+		}
+		if eng == fuzz.EngineCGT {
+			patch := bytecode.NewPatchable(cp, m.Len())
+			consumed := coverage.NewBitset(m.Len())
+			full := bytecode.NewMachine(cp, m, lim)
+			m.Reset()
+			full.Run(target.Entry, input)
+			m.ClassifySparse()
+			for _, idx := range m.Indices() {
+				consumed.Set(idx)
+			}
+			elided := patch.Replan(consumed)
+			fast := bytecode.NewMachine(patch.Program(), m, lim)
+			fast.SetElide(consumed)
+			fmt.Printf("\nengine cgt: elided %d/%d static probe sites (%d consumed cells)\n",
+				elided, patch.NumSites(), consumed.Count())
+			run = func() vm.Result { return fast.Run(target.Entry, input) }
+		} else {
+			mach := bytecode.NewMachine(cp, m, lim)
+			run = func() vm.Result { return mach.Run(target.Entry, input) }
+		}
+	}
+	start := time.Now()
+	var last vm.Result
+	for i := 0; i < execs; i++ {
+		m.Reset()
+		last = run()
+	}
+	el := time.Since(start)
+	fmt.Printf("engine %s: %d execs in %s (%.0f ns/exec), status=%v steps=%d\n",
+		eng, execs, el.Round(time.Millisecond), float64(el.Nanoseconds())/float64(execs), last.Status, last.Steps)
 }
 
 func fatalf(format string, args ...any) {

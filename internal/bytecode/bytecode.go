@@ -236,6 +236,16 @@ const (
 	opAddJmp  // m.Add(imm); jmp a
 	opIncJmp  // reg += imm; jmp a
 	opBackJmp // back(salt a, inc imm, restart b); jmp dst
+
+	// opElide is the patched-out form of opProbeAdd: the coverage-guided
+	// tracing planner rewrites a probe to it once the probe's map cell
+	// is fully consumed (see Patchable). It does nothing and — like
+	// every probe — charges no step, so a patched program's step counts,
+	// timeouts, and injected-fault positions are identical to the
+	// pristine program's. It sits outside the [opProbeAdd, opProbePAFlush]
+	// probe range on purpose: the structural verifier only ever sees
+	// pristine code, and Patchable.Verify checks patched code instead.
+	opElide
 )
 
 // instr is one flat instruction; operand meaning is per-opcode (see the
@@ -312,15 +322,19 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// ngramVisit computes the n-gram window hash exactly as the
-// instrument tracer does (including its FNV offset constant), writing
-// the result into m.
-func ngramVisit(m *coverage.Map, hist []uint32, pos int) {
+// ngramHash computes the n-gram window hash exactly as the instrument
+// tracer does (including its FNV offset constant).
+func ngramHash(hist []uint32, pos int) uint64 {
 	var h uint64 = 1469598103934665603
 	n := len(hist)
 	for i := 0; i < n; i++ {
 		h ^= uint64(hist[(pos+i)%n])
 		h *= 1099511628211
 	}
-	m.Add(uint32(h))
+	return h
+}
+
+// ngramVisit writes the n-gram window hash into m.
+func ngramVisit(m *coverage.Map, hist []uint32, pos int) {
+	m.Add(uint32(ngramHash(hist, pos)))
 }

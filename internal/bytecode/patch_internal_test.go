@@ -1,0 +1,168 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+)
+
+// tamperProg builds a minimal hand-rolled program containing all three
+// patchable shapes plus a dynamic probe that must never be touched.
+func tamperProg() *Program {
+	return &Program{
+		code: []instr{
+			{op: opProbeAdd, imm: 5},
+			{op: opStepChk},
+			{op: opAddJmp, a: 3, imm: 9},
+			{op: opStepAddJmp, a: 4, imm: 5},
+			{op: opProbePAFlush},
+			{op: opStepRet, a: -1},
+		},
+	}
+}
+
+func TestPatchableSiteScan(t *testing.T) {
+	pp := NewPatchable(tamperProg(), 8)
+	if pp.NumSites() != 3 {
+		t.Fatalf("NumSites = %d, want 3", pp.NumSites())
+	}
+	// imm 9 masked into an 8-cell map is cell 1; imm 5 stays 5.
+	want := []patchSite{
+		{pc: 0, cell: 5, slow: opProbeAdd, fast: opElide},
+		{pc: 2, cell: 1, slow: opAddJmp, fast: opJmp},
+		{pc: 3, cell: 5, slow: opStepAddJmp, fast: opStepJmp},
+	}
+	for i, s := range pp.sites {
+		if s != want[i] {
+			t.Fatalf("site %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestPatchableReplanRewrites(t *testing.T) {
+	pp := NewPatchable(tamperProg(), 8)
+	bs := coverage.NewBitset(8)
+	bs.Set(5)
+	if n := pp.Replan(bs); n != 2 {
+		t.Fatalf("Replan elided %d sites, want 2 (both cell-5 sites)", n)
+	}
+	code := pp.patched.code
+	if code[0].op != opElide || code[3].op != opStepJmp || code[2].op != opAddJmp {
+		t.Fatalf("wrong opcodes after replan: %d %d %d", code[0].op, code[2].op, code[3].op)
+	}
+	if err := pp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Operands must be untouched so jump targets survive patching.
+	if code[3].a != 4 || code[3].imm != 5 {
+		t.Fatalf("patching disturbed operands: %+v", code[3])
+	}
+	// Shrinking the mask restores the pristine opcodes.
+	bs.Clear()
+	if n := pp.Replan(bs); n != 0 {
+		t.Fatalf("empty replan left %d elided", n)
+	}
+	for i := range code {
+		if code[i] != pp.pristine.code[i] {
+			t.Fatalf("pc %d not restored: %+v vs %+v", i, code[i], pp.pristine.code[i])
+		}
+	}
+}
+
+func TestPatchableVerifyCatchesTampering(t *testing.T) {
+	// Patching a non-site instruction is caught.
+	pp := NewPatchable(tamperProg(), 8)
+	pp.patched.code[4].op = opElide
+	if err := pp.Verify(); err == nil || !strings.Contains(err.Error(), "not a probe site") {
+		t.Fatalf("tampered non-site not caught: %v", err)
+	}
+
+	// Patching a site to the wrong fast variant is caught.
+	pp = NewPatchable(tamperProg(), 8)
+	pp.patched.code[0].op = opJmp
+	if err := pp.Verify(); err == nil || !strings.Contains(err.Error(), "patched to opcode") {
+		t.Fatalf("wrong fast variant not caught: %v", err)
+	}
+
+	// Disturbing operands beyond what the plan's threading dictates is
+	// caught: elide the trampoline site legitimately, then bend its
+	// jump target off-plan.
+	pp = NewPatchable(tamperProg(), 8)
+	bs := coverage.NewBitset(8)
+	bs.Set(1)
+	if n := pp.Replan(bs); n != 1 {
+		t.Fatalf("Replan elided %d sites, want 1", n)
+	}
+	pp.patched.code[2].a = 1
+	if err := pp.Verify(); err == nil || !strings.Contains(err.Error(), "operands") {
+		t.Fatalf("operand change not caught: %v", err)
+	}
+}
+
+// threadProg builds a branch whose then-edge goes through a probe
+// trampoline and whose else-edge falls through a standalone probe —
+// the two shapes jump threading must forward past once elided.
+func threadProg() *Program {
+	return &Program{
+		code: []instr{
+			{op: opStepBr, a: 0, b: 1, dst: 3},
+			{op: opAddJmp, imm: 9, a: 5},  // then-edge trampoline -> 5
+			{op: opJmp, a: 5},             // pristine jump: never threaded over
+			{op: opProbeAdd, imm: 5},      // else-edge inline probe
+			{op: opStepChk},
+			{op: opStepRet, a: -1},
+		},
+	}
+}
+
+func TestPatchableJumpThreading(t *testing.T) {
+	pp := NewPatchable(threadProg(), 8)
+	bs := coverage.NewBitset(8)
+	bs.Set(1) // imm 9 & 7
+	bs.Set(5)
+	if n := pp.Replan(bs); n != 2 {
+		t.Fatalf("Replan elided %d sites, want 2", n)
+	}
+	code := pp.patched.code
+	// The branch now bypasses the elided trampoline (b: 1 -> 5) and the
+	// elided standalone probe (dst: 3 -> 4).
+	if code[0].b != 5 || code[0].dst != 4 {
+		t.Fatalf("branch targets not threaded: b=%d dst=%d, want 5, 4", code[0].b, code[0].dst)
+	}
+	// The pristine opJmp at pc 2 keeps its target: threading forwards
+	// past elided code only.
+	if code[2] != pp.pristine.code[2] {
+		t.Fatalf("pristine jump disturbed: %+v", code[2])
+	}
+	if err := pp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// An empty plan restores byte-identical pristine code, targets
+	// included.
+	bs.Clear()
+	if n := pp.Replan(bs); n != 0 {
+		t.Fatalf("empty replan left %d elided", n)
+	}
+	for i := range code {
+		if code[i] != pp.pristine.code[i] {
+			t.Fatalf("pc %d not restored: %+v vs %+v", i, code[i], pp.pristine.code[i])
+		}
+	}
+	if err := pp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatchableRejectsBadMapSize(t *testing.T) {
+	for _, n := range []int{0, -4, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPatchable(mapSize=%d) did not panic", n)
+				}
+			}()
+			NewPatchable(tamperProg(), n)
+		}()
+	}
+}

@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/instrument"
+	"repro/internal/subjects"
+	"repro/internal/vm"
+)
+
+// cgtFeedbacks are the feedback mechanisms with a bytecode lowering —
+// the ones the CGT engine supports (it refuses the rest, like
+// EngineBytecode).
+var cgtFeedbacks = []instrument.Feedback{
+	instrument.FeedbackEdge,
+	instrument.FeedbackPath,
+	instrument.FeedbackBlock,
+	instrument.FeedbackNGram,
+	instrument.FeedbackPathAFL,
+}
+
+// runEngineCampaign runs one campaign and returns its canonical report
+// bytes — the byte-level identity currency of the differential suite.
+func runEngineCampaign(t *testing.T, sub *subjects.Subject, fb instrument.Feedback, engine fuzz.Engine, budget int64, lim vm.Limits, inj func(int64, []byte) bool) []byte {
+	t.Helper()
+	prog, err := sub.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fuzz.New(prog, fuzz.Options{
+		Feedback:        fb,
+		Seed:            11,
+		MapSize:         1 << 12,
+		Entry:           "main",
+		Limits:          lim,
+		KeepCrashInputs: true,
+		Engine:          engine,
+		FaultInjector:   inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sub.Seeds {
+		f.AddSeed(s)
+	}
+	f.Fuzz(budget)
+	data, err := CanonicalReport(f.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCGTReportByteIdentityAllSubjects is the engine-level contract at
+// full breadth: on every benchmark subject, under every supported
+// feedback, a CGT campaign's canonical report bytes are identical to
+// the EngineBytecode campaign with the same seed and budget.
+func TestCGTReportByteIdentityAllSubjects(t *testing.T) {
+	const budget = 1500
+	for _, sub := range subjects.All() {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, fb := range cgtFeedbacks {
+				want := runEngineCampaign(t, sub, fb, fuzz.EngineBytecode, budget, vm.DefaultLimits(), nil)
+				got := runEngineCampaign(t, sub, fb, fuzz.EngineCGT, budget, vm.DefaultLimits(), nil)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s/%v: cgt report differs from bytecode (%d vs %d canonical bytes)",
+						sub.Name, fb, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestCGTReportByteIdentityFaultsAndLimits drives the quarantine and
+// resource-exhaustion paths: a periodic pre-execution fault injector, a
+// mid-run injected panic, and tight step/heap limits — each must leave
+// the CGT report byte-identical to the bytecode one.
+func TestCGTReportByteIdentityFaultsAndLimits(t *testing.T) {
+	const budget = 1000
+	inj := func(execs int64, data []byte) bool { return execs > 0 && execs%401 == 0 }
+	injected := vm.DefaultLimits()
+	injected.InjectPanicAtStep = 300
+	variants := []struct {
+		name string
+		lim  vm.Limits
+		inj  func(int64, []byte) bool
+	}{
+		{"fault-injector", vm.DefaultLimits(), inj},
+		{"mid-run-panic", injected, nil},
+		{"tight-limits", vm.Limits{MaxSteps: 400, MaxDepth: 8, MaxHeapCells: 512, MaxAlloc: 128, MaxCmpObs: 16}, nil},
+	}
+	for _, name := range []string{"cflow", "flvmeta", "jq"} {
+		sub := subjects.Get(name)
+		if sub == nil {
+			t.Fatalf("unknown subject %s", name)
+		}
+		for _, v := range variants {
+			for _, fb := range cgtFeedbacks {
+				want := runEngineCampaign(t, sub, fb, fuzz.EngineBytecode, budget, v.lim, v.inj)
+				got := runEngineCampaign(t, sub, fb, fuzz.EngineCGT, budget, v.lim, v.inj)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s/%s/%v: cgt report differs from bytecode", name, v.name, fb)
+				}
+			}
+		}
+	}
+}
+
+// TestCGTResumeDeterminism runs the campaign durability contract on the
+// CGT engine: interrupt, checkpoint, resume — the resumed report must
+// be byte-identical to an uninterrupted CGT campaign AND to the
+// EngineBytecode baseline (the patch plan is rebuilt from the restored
+// virgin map, never checkpointed).
+func TestCGTResumeDeterminism(t *testing.T) {
+	bytecodeOpts := testOpts()
+	bytecodeOpts.Engine = fuzz.EngineBytecode
+	wantBytecode := baseline(t, bytecodeOpts)
+
+	opts := testOpts()
+	opts.Engine = fuzz.EngineCGT
+	want := baseline(t, opts)
+	if !bytes.Equal(want, wantBytecode) {
+		t.Fatalf("uninterrupted cgt baseline differs from bytecode baseline (%d vs %d bytes)", len(want), len(wantBytecode))
+	}
+
+	dir := t.TempDir()
+	interruptedStart(t, OSFS{}, dir, opts)
+	got, warns := resumeToEnd(t, OSFS{}, dir, opts)
+	if len(warns) != 0 {
+		t.Fatalf("unexpected load warnings: %v", warns)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed cgt campaign differs from uninterrupted (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCGTMetaEngineRoundTrip guards the provenance path: an -engine cgt
+// campaign records a meta string that parses back to the same engine.
+func TestCGTMetaEngineRoundTrip(t *testing.T) {
+	for _, e := range []fuzz.Engine{fuzz.EngineAuto, fuzz.EngineBytecode, fuzz.EngineInterp, fuzz.EngineCGT} {
+		back, err := fuzz.ParseEngine(e.String())
+		if err != nil || back != e {
+			t.Errorf("engine %v round-trip: got %v, %v", e, back, err)
+		}
+	}
+	if fmt.Sprint(fuzz.EngineCGT) != "cgt" {
+		t.Errorf("EngineCGT prints %q", fmt.Sprint(fuzz.EngineCGT))
+	}
+}

@@ -1,0 +1,120 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(256)
+	if b.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", b.Len())
+	}
+	if b.Count() != 0 || b.Has(0) || b.Has(255) {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.Set(3)
+	b.Set(255)
+	// Indices mask exactly like Map.Add: 256+3 lands on cell 3.
+	b.Set(256 + 3)
+	if !b.Has(3) || !b.Has(255) || !b.Has(259) {
+		t.Fatal("set cells not visible")
+	}
+	if b.Has(4) {
+		t.Fatal("unset cell reported set")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 || b.Has(3) {
+		t.Fatal("Clear left bits behind")
+	}
+}
+
+func TestBitsetRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -8, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBitset(%d) did not panic", n)
+				}
+			}()
+			NewBitset(n)
+		}()
+	}
+}
+
+// TestFullyConsumedInto cross-checks the word-at-a-time scan against a
+// naive per-cell reference over randomized virgin states, including the
+// three cell classes the scan distinguishes: all-virgin (0xff), partly
+// consumed, and fully consumed (0).
+func TestFullyConsumedInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		size := 1 << (3 + rng.Intn(8)) // 8 .. 1024
+		v := NewVirgin(size)
+		var cells []VirginCell
+		for i := 0; i < size; i++ {
+			switch rng.Intn(4) {
+			case 0: // fully consumed
+				cells = append(cells, VirginCell{Index: uint32(i), Bits: 0})
+			case 1: // partly consumed
+				cells = append(cells, VirginCell{Index: uint32(i), Bits: uint8(1 + rng.Intn(254))})
+			}
+		}
+		if err := v.SetCells(cells); err != nil {
+			t.Fatal(err)
+		}
+		bs := NewBitset(size)
+		got := v.FullyConsumedInto(bs)
+		want := 0
+		for i := 0; i < size; i++ {
+			full := false
+			for _, c := range cells {
+				if int(c.Index) == i && c.Bits == 0 {
+					full = true
+				}
+			}
+			if full {
+				want++
+			}
+			if bs.Has(uint32(i)) != full {
+				t.Fatalf("size %d cell %d: scan says %v, reference says %v", size, i, bs.Has(uint32(i)), full)
+			}
+		}
+		if got != want || bs.Count() != want {
+			t.Fatalf("size %d: returned %d, Count %d, want %d", size, got, bs.Count(), want)
+		}
+	}
+}
+
+// TestFullyConsumedIntoRepeated pins that the scan clears stale bits: a
+// bitset reused across replans must reflect only the current virgin
+// state (monotone growth in practice, but the contract is a full
+// recompute).
+func TestFullyConsumedIntoRepeated(t *testing.T) {
+	v := NewVirgin(64)
+	bs := NewBitset(64)
+	if err := v.SetCells([]VirginCell{{Index: 5, Bits: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := v.FullyConsumedInto(bs); n != 1 || !bs.Has(5) {
+		t.Fatalf("first scan: n=%d has(5)=%v", n, bs.Has(5))
+	}
+	if err := v.SetCells([]VirginCell{{Index: 9, Bits: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := v.FullyConsumedInto(bs); n != 1 || bs.Has(5) || !bs.Has(9) {
+		t.Fatalf("second scan kept stale state: n=%d has(5)=%v has(9)=%v", n, bs.Has(5), bs.Has(9))
+	}
+}
+
+func TestFullyConsumedIntoSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	NewVirgin(64).FullyConsumedInto(NewBitset(128))
+}

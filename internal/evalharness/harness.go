@@ -121,7 +121,11 @@ type SuiteResult struct {
 	// of run durations).
 	GoVersion string
 	Host      string
-	Elapsed   time.Duration
+	// Engine names the execution engine every campaign in the suite ran
+	// on (part of run provenance: engines are observationally identical,
+	// but throughput numbers are not comparable across them).
+	Engine  string
+	Elapsed time.Duration
 }
 
 // Runs returns the runs for one pair (nil if absent).
@@ -187,6 +191,7 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 		Results:   make(map[string]map[strategy.Name][]*RunResult),
 		GoVersion: runtime.Version(),
 		Host:      host,
+		Engine:    cfg.Engine.String(),
 	}
 
 	type job struct {

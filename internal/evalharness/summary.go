@@ -63,8 +63,12 @@ func (s *SuiteResult) Summary(w io.Writer) {
 		if host == "" {
 			host = "unknown-host"
 		}
-		fmt.Fprintf(w, "  environment: %s on %s, suite wall-clock %s\n",
-			s.GoVersion, host, s.Elapsed.Round(time.Millisecond))
+		engine := s.Engine
+		if engine == "" {
+			engine = "unknown-engine"
+		}
+		fmt.Fprintf(w, "  environment: %s on %s, engine %s, suite wall-clock %s\n",
+			s.GoVersion, host, engine, s.Elapsed.Round(time.Millisecond))
 	}
 	get := func(f strategy.Name) triage.Set[string] { return s.TotalBugs(f) }
 	pct := func(a, b int) string {

@@ -41,6 +41,12 @@ const (
 	EngineBytecode
 	// EngineInterp forces the reference CFG-walking interpreter.
 	EngineInterp
+	// EngineCGT runs the coverage-guided tracing engine: the compiled
+	// bytecode engine plus self-patching probe elision with
+	// coverage-preserving retrace (see cgt.go). Campaign results are
+	// byte-identical to EngineBytecode; like it, New fails when the
+	// feedback has no lowering.
+	EngineCGT
 )
 
 // String names the engine selection.
@@ -52,6 +58,8 @@ func (e Engine) String() string {
 		return "bytecode"
 	case EngineInterp:
 		return "interp"
+	case EngineCGT:
+		return "cgt"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -65,8 +73,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBytecode, nil
 	case "interp", "interpreter":
 		return EngineInterp, nil
+	case "cgt":
+		return EngineCGT, nil
 	}
-	return EngineAuto, fmt.Errorf("fuzz: unknown engine %q (want auto, bytecode, or interp)", s)
+	return EngineAuto, fmt.Errorf("fuzz: unknown engine %q (want auto, bytecode, cgt, or interp)", s)
 }
 
 // Profile selects the base-fuzzer capability set.
@@ -171,7 +181,7 @@ func (o Options) Validate() error {
 	if o.StatusEvery < 0 {
 		return fmt.Errorf("fuzz: StatusEvery %d is negative", o.StatusEvery)
 	}
-	if o.Engine < EngineAuto || o.Engine > EngineInterp {
+	if o.Engine < EngineAuto || o.Engine > EngineCGT {
 		return fmt.Errorf("fuzz: unknown engine %d", int(o.Engine))
 	}
 	if o.Profile != ProfileAFLPlusPlus && o.Profile != ProfileAFL {
@@ -305,7 +315,11 @@ type Fuzzer struct {
 	// interpreter's instrumentation callback.
 	tracer vm.Tracer
 	mach   *bytecode.Machine
-	cov    *coverage.Map
+	// cgt, when non-nil, selects the coverage-guided tracing engine:
+	// executions dispatch to its patched fast machine and mach becomes
+	// the retrace (full-instrumentation) machine. See cgt.go.
+	cgt *cgtState
+	cov *coverage.Map
 	virgin *coverage.Virgin
 	// crashVirgin implements AFL's crash-uniqueness criterion.
 	crashVirgin *coverage.Virgin
@@ -397,10 +411,29 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 	}
 	m := coverage.NewMap(opts.MapSize)
 	var mach *bytecode.Machine
+	var cgt *cgtState
 	if opts.Engine != EngineInterp {
 		if cp, ok := instrument.CompiledFor(opts.Feedback, prog, opts.Instr); ok {
 			mach = bytecode.NewMachine(cp, m, opts.Limits)
-		} else if opts.Engine == EngineBytecode {
+			if opts.Engine == EngineCGT {
+				patch := bytecode.NewPatchable(cp, opts.MapSize)
+				// Static hit-count bounds tighten the consumption rule
+				// for feedbacks with compile-time cells (nil otherwise).
+				patch.SetHitBounds(cp.CellHitBounds(opts.Entry))
+				consumed := coverage.NewBitset(opts.MapSize)
+				// The fast machine skips comparison-operand collection:
+				// cmp observations are only ever consumed for inputs
+				// that get queued, and every queued input was retraced
+				// on the fully-instrumented machine, whose result
+				// (cmps included) replaces the fast one. Recording has
+				// no effect on execution, steps, or coverage.
+				fastLim := opts.Limits
+				fastLim.MaxCmpObs = 0
+				fast := bytecode.NewMachine(patch.Program(), m, fastLim)
+				fast.SetElide(consumed)
+				cgt = &cgtState{patch: patch, fast: fast, consumed: consumed}
+			}
+		} else if opts.Engine != EngineAuto {
 			return nil, fmt.Errorf("fuzz: feedback %v has no bytecode lowering (use -engine=interp or auto)", opts.Feedback)
 		}
 	}
@@ -420,6 +453,7 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		rngSrc:      src,
 		tracer:      tr,
 		mach:        mach,
+		cgt:         cgt,
 		cov:         m,
 		virgin:      coverage.NewVirgin(opts.MapSize),
 		crashVirgin: coverage.NewVirgin(opts.MapSize),
@@ -521,23 +555,36 @@ type execOutcome struct {
 // injected by the fault harness) is recovered and reported via ok=false
 // instead of unwinding through the fuzz loop and killing the campaign.
 func (f *Fuzzer) runProtected(data []byte) (res vm.Result, faultMsg string, ok bool) {
+	return f.runProtectedOn(f.mach, data, true)
+}
+
+// runProtectedOn is runProtected on an explicit machine (nil selects
+// the reference interpreter); inject gates the fault-injection hook so
+// the CGT engine's retrace re-execution does not consume a second
+// injector decision for the same exec index.
+func (f *Fuzzer) runProtectedOn(mach *bytecode.Machine, data []byte, inject bool) (res vm.Result, faultMsg string, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			faultMsg = fmt.Sprint(r)
 			ok = false
 		}
 	}()
-	if inj := f.opts.FaultInjector; inj != nil && inj(f.stats.Execs, data) {
-		panic("fuzz: injected execution fault")
+	if inject {
+		if inj := f.opts.FaultInjector; inj != nil && inj(f.stats.Execs, data) {
+			panic("fuzz: injected execution fault")
+		}
 	}
-	if f.mach != nil {
-		return f.mach.Run(f.opts.Entry, data), "", true
+	if mach != nil {
+		return mach.Run(f.opts.Entry, data), "", true
 	}
 	return vm.Run(f.prog, f.opts.Entry, data, f.tracer, f.opts.Limits), "", true
 }
 
 // EngineName reports which execution engine the campaign runs on.
 func (f *Fuzzer) EngineName() string {
+	if f.cgt != nil {
+		return "cgt"
+	}
 	if f.mach != nil {
 		return "bytecode"
 	}
@@ -586,6 +633,9 @@ func (f *Fuzzer) recordFault(data []byte, msg string) {
 
 // execute runs one input and folds novelty into the virgin map.
 func (f *Fuzzer) execute(data []byte) execOutcome {
+	if f.cgt != nil {
+		return f.executeCGT(data)
+	}
 	f.cov.Reset()
 	res, faultMsg, ok := f.runProtected(data)
 	f.stats.Execs++
@@ -928,6 +978,11 @@ func (f *Fuzzer) Fuzz(budget int64) {
 	for f.stats.Execs < budget {
 		if !f.midCycle {
 			f.cullFavored()
+			// Cycle starts are the CGT engine's replan boundary: the
+			// probe-elision plan is recomputed from the virgin map
+			// here and nowhere else inside the loop, so the plan is a
+			// deterministic function of cycle-start campaign state.
+			f.replanCGT()
 			f.qi, f.qlen = 0, len(f.queue)
 			f.midCycle = true
 		}
@@ -1022,6 +1077,14 @@ func (f *Fuzzer) publishTelemetry() {
 			pending++
 		}
 	}
+	var fastExecs, retraces, replans, elided, patchSites int64
+	if f.cgt != nil {
+		fastExecs = f.cgt.fastExecs
+		retraces = f.cgt.retraces
+		replans = f.cgt.replans
+		elided = int64(f.cgt.elided)
+		patchSites = int64(f.cgt.patch.NumSites())
+	}
 	f.tel.Publish(telemetry.Counters{
 		Execs:            f.stats.Execs,
 		Timeouts:         f.stats.Timeouts,
@@ -1046,6 +1109,11 @@ func (f *Fuzzer) publishTelemetry() {
 		HavocExecs:       f.stats.HavocExecs,
 		SpliceExecs:      f.stats.SpliceExecs,
 		CmplogExecs:      f.stats.CmplogExecs,
+		FastExecs:        fastExecs,
+		Retraces:         retraces,
+		Replans:          replans,
+		ElidedProbes:     elided,
+		PatchSites:       patchSites,
 	})
 }
 

@@ -259,6 +259,10 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 	f.samplingRestored = snap.SampleEvery > 0
 
 	f.rngSrc.skipTo(snap.RNGDraws)
+	// The CGT patch plan is not checkpointed: it is a pure function of
+	// the virgin map, so a restored campaign replans from the restored
+	// virgin state (the same boundary-determinism rule as cycle starts).
+	f.replanCGT()
 	return nil
 }
 

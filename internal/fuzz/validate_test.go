@@ -20,6 +20,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative status period", Options{StatusPeriod: -time.Second}, "StatusPeriod"},
 		{"negative status every", Options{StatusEvery: -1}, "StatusEvery"},
 		{"unknown engine", Options{Engine: Engine(99)}, "engine"},
+		{"bytecode engine", Options{Engine: EngineBytecode}, ""},
+		{"interp engine", Options{Engine: EngineInterp}, ""},
+		{"cgt engine", Options{Engine: EngineCGT}, ""},
 		{"unknown profile", Options{Profile: Profile(99)}, "profile"},
 		{
 			"dict token exceeds max input len",
@@ -45,6 +48,40 @@ func TestOptionsValidate(t *testing.T) {
 				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseEngine pins the flag surface: every engine name round-trips
+// through ParseEngine/String, and the unknown-name error enumerates
+// every valid spelling so CLI users see the full menu.
+func TestParseEngine(t *testing.T) {
+	round := map[string]Engine{
+		"":            EngineAuto,
+		"auto":        EngineAuto,
+		"bytecode":    EngineBytecode,
+		"interp":      EngineInterp,
+		"interpreter": EngineInterp,
+		"cgt":         EngineCGT,
+	}
+	for name, want := range round {
+		got, err := ParseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, e := range []Engine{EngineBytecode, EngineInterp, EngineCGT} {
+		if back, err := ParseEngine(e.String()); err != nil || back != e {
+			t.Errorf("engine %v does not round-trip through its String %q", e, e.String())
+		}
+	}
+	_, err := ParseEngine("turbo")
+	if err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+	for _, name := range []string{"auto", "bytecode", "cgt", "interp"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseEngine error %q does not list engine %q", err, name)
+		}
 	}
 }
 

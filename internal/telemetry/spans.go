@@ -27,11 +27,14 @@ const (
 	StageTrim
 	// StageCheckpoint covers writing one campaign checkpoint.
 	StageCheckpoint
+	// StageRetrace covers the CGT engine's full-instrumentation
+	// re-executions of suspected-novel or crashing inputs.
+	StageRetrace
 	numStages
 )
 
 var stageNames = [numStages]string{
-	"calibrate", "havoc", "splice", "cmplog", "trim", "checkpoint",
+	"calibrate", "havoc", "splice", "cmplog", "trim", "checkpoint", "retrace",
 }
 
 // String names the stage.

@@ -67,6 +67,15 @@ type Counters struct {
 	SpliceExecs int64
 	CmplogExecs int64
 
+	// Coverage-guided tracing engine counters (zero for the other
+	// engines). FastExecs/Retraces/Replans are cumulative; ElidedProbes
+	// and PatchSites are gauges describing the current patch plan.
+	FastExecs    int64
+	Retraces     int64
+	Replans      int64
+	ElidedProbes int64
+	PatchSites   int64
+
 	// Fleet supervision counters (zero for single-fuzzer campaigns).
 	// The fleet supervisor fills these on the aggregate snapshot it
 	// publishes; per-worker snapshots leave them zero.
@@ -106,6 +115,11 @@ func Aggregate(cs ...Counters) Counters {
 		out.HavocExecs += c.HavocExecs
 		out.SpliceExecs += c.SpliceExecs
 		out.CmplogExecs += c.CmplogExecs
+		out.FastExecs += c.FastExecs
+		out.Retraces += c.Retraces
+		out.Replans += c.Replans
+		out.ElidedProbes += c.ElidedProbes
+		out.PatchSites += c.PatchSites
 		out.FleetWorkers += c.FleetWorkers
 		out.FleetActive += c.FleetActive
 		out.FleetRestarts += c.FleetRestarts
