@@ -69,6 +69,7 @@ func main() {
 		analysisLvl = flag.String("analysis", "", "static-analysis strictness: strict runs the IR and bytecode verifiers on every compile (default off)")
 		opt         = flag.Bool("opt", true, "enable verified bytecode optimization passes (constant folding, dead code)")
 		reach       = flag.Bool("reach", false, "boost power-schedule energy by static crash-site reachability")
+		guide       = flag.Bool("analysis-guide", false, "analysis-guided fuzzing: focus mutations on input-dependency byte ranges, boost unexplored input-dependent branches, skip input-independent cmplog sites")
 	)
 	flag.Parse()
 
@@ -168,6 +169,7 @@ func main() {
 	meta.Seed = *seed
 	meta.Budget = *budget
 	meta.Entry = target.Entry
+	meta.Guide = *guide
 
 	banner := meta.Subject
 	if banner == "" {
@@ -193,6 +195,7 @@ func main() {
 				Engine:          engine,
 				Instr:           icfg,
 				ReachBoost:      *reach,
+				AnalysisGuide:   *guide,
 				Status:          os.Stderr,
 				StatusPeriod:    *statusPer,
 				StatusEvery:     *statusEvery,
@@ -257,6 +260,7 @@ func main() {
 		Engine:          engine,
 		Instr:           icfg,
 		ReachBoost:      *reach,
+		AnalysisGuide:   *guide,
 		StatusPeriod:    *statusPer,
 		StatusEvery:     *statusEvery,
 		Telemetry:       rec,
@@ -370,6 +374,7 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 		Entry:           meta.Entry,
 		KeepCrashInputs: true,
 		Engine:          engine,
+		AnalysisGuide:   meta.Guide,
 		StatusPeriod:    statusPer,
 		StatusEvery:     statusEvery,
 		Telemetry:       rec,
@@ -454,6 +459,7 @@ func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metri
 		Entry:           meta.Entry,
 		KeepCrashInputs: true,
 		Engine:          engine,
+		AnalysisGuide:   meta.Guide,
 	}
 	fo.Telemetry = rec
 	s := fleet.New(dir, fo)

@@ -1,10 +1,13 @@
 // Command palint lints MiniC programs with the static-analysis
 // framework: AST-level unreachable statements and unused variables,
-// plus interval-analysis findings over the lowered CFG (branches that
+// interval-analysis findings over the lowered CFG (branches that
 // are always taken one way, interval-unreachable code, and guaranteed
-// faults such as division by zero or out-of-bounds indexing). With
-// -verify it additionally runs the IR verifier over the lowered
-// program.
+// faults such as division by zero or out-of-bounds indexing), and
+// interprocedural findings (input-independent branches, comparisons
+// against out-of-interval constants, functions unreachable from main).
+// Diagnostics are reported in a deterministic order: source position,
+// then check name. With -verify it additionally runs the IR verifier
+// over the lowered program.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
 	"repro/internal/cfg"
 	"repro/internal/lang"
 	"repro/internal/subjects"
@@ -80,6 +84,8 @@ func main() {
 			}
 		}
 		fds := analysis.Lint(ast, prog)
+		fds = append(fds, interproc.Lint(interproc.ForProgram(prog))...)
+		analysis.SortFindings(fds)
 		for _, fd := range fds {
 			fmt.Printf("%s:%s\n", u.name, fd)
 		}

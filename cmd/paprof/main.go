@@ -8,6 +8,7 @@
 //
 //	paprof -subject flvmeta -input 'FLV...'
 //	paprof -src prog.mc -input-file input.bin -stats
+//	paprof -subject flvmeta -facts
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis/interproc"
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -36,6 +38,7 @@ func main() {
 		inputStr    = flag.String("input", "", "input bytes (literal)")
 		inputFile   = flag.String("input-file", "", "file holding the input bytes")
 		statsOnly   = flag.Bool("stats", false, "print per-function path statistics only")
+		factsDump   = flag.Bool("facts", false, "print the interprocedural analysis facts (per-branch input-dependency byte ranges, branch correlations, infeasible paths, cmp skip ratio) and exit")
 		topN        = flag.Int("top", 20, "show the N hottest paths")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -105,6 +108,11 @@ func main() {
 		}
 	default:
 		fatalf("one of -subject or -src is required")
+	}
+
+	if *factsDump {
+		interproc.ForProgram(target.Prog).Dump(os.Stdout)
+		return
 	}
 
 	fmt.Println("function            blocks edges back  acyclic-paths probes(naive/opt)")

@@ -1,0 +1,102 @@
+package interproc
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+)
+
+const cgSrc = `
+func leaf(x) {
+    return x * 2;
+}
+func a(input, n) {
+    if (n < 1) { return 0; }
+    return b(input, n - 1) + leaf(n);
+}
+func b(input, n) {
+    if (n < 1) { return 0; }
+    return a(input, n - 1);
+}
+func orphan(x) {
+    return x;
+}
+func main(input) {
+    return a(input, len(input));
+}
+`
+
+func TestCallGraphStructure(t *testing.T) {
+	prog, err := cfg.Compile(cgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewCallGraph(prog)
+	id := func(name string) int { return prog.ByName[name] }
+
+	// a <-> b is one SCC; it must come before main's (bottom-up order)
+	// and after leaf's.
+	if g.SCCOf[id("a")] != g.SCCOf[id("b")] {
+		t.Error("a and b should share an SCC")
+	}
+	if g.SCCOf[id("leaf")] >= g.SCCOf[id("a")] {
+		t.Error("leaf's SCC should precede the a/b cycle (callee-first)")
+	}
+	if g.SCCOf[id("a")] >= g.SCCOf[id("main")] {
+		t.Error("the a/b cycle should precede main (callee-first)")
+	}
+	for _, scc := range g.SCCs {
+		for _, f := range scc {
+			if g.SCCOf[f] != g.SCCOf[scc[0]] {
+				t.Error("SCCOf inconsistent with SCCs")
+			}
+		}
+	}
+
+	if !g.Recursive(id("a")) || !g.Recursive(id("b")) {
+		t.Error("a and b are mutually recursive")
+	}
+	if g.Recursive(id("leaf")) || g.Recursive(id("main")) {
+		t.Error("leaf/main are not recursive")
+	}
+
+	reach := g.ReachableFrom(id("main"))
+	for _, name := range []string{"main", "a", "b", "leaf"} {
+		if !reach[id(name)] {
+			t.Errorf("%s should be reachable from main", name)
+		}
+	}
+	if reach[id("orphan")] {
+		t.Error("orphan should be unreachable")
+	}
+
+	// Callers are the transpose of Callees.
+	foundMain := false
+	for _, c := range g.Callers[id("a")] {
+		if c == id("main") {
+			foundMain = true
+		}
+	}
+	if !foundMain {
+		t.Error("main should be a caller of a")
+	}
+}
+
+func TestCallGraphSelfRecursion(t *testing.T) {
+	prog, err := cfg.Compile(`
+func f(input, n) {
+    if (n < 1) { return 0; }
+    return f(input, n - 1);
+}
+func main(input) {
+    return f(input, 3);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewCallGraph(prog)
+	if !g.Recursive(prog.ByName["f"]) {
+		t.Error("self-calling f should be recursive")
+	}
+}

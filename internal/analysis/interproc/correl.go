@@ -1,0 +1,423 @@
+package interproc
+
+import (
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/balllarus"
+	"repro/internal/cfg"
+	"repro/internal/lang"
+)
+
+// simulateCap bounds the number of Ball-Larus acyclic paths a function
+// may have for the per-path abstract walk (infeasibility + branch
+// correlation) to run. Functions beyond it get no path facts — a sound
+// omission, since infeasibility is under-approximated.
+const simulateCap = 4096
+
+// cellCap bounds NumPaths for the never-hit-cell computation: every
+// function must be enumerable below it before any feedback cell can be
+// proven dead (a non-enumerable function could hash anywhere).
+const cellCap = 65536
+
+// maxCorrelBranches bounds the branch blocks per function for pairwise
+// implication mining (decision sets are stored as 64-bit masks).
+const maxCorrelBranches = 64
+
+// Implication is a proven pairwise branch correlation within one
+// function: on every feasible acyclic path that decides branch block B1
+// in direction D1 (true = then edge) and also decides B2, B2 goes D2.
+// Witness counts the feasible paths deciding both.
+type Implication struct {
+	B1      int
+	D1      bool
+	B2      int
+	D2      bool
+	Witness int
+}
+
+// cmpRec is the relational shadow of one slot: the slot currently
+// holds the boolean result of `a op b` (negated when neg), letting the
+// path walker refine operand intervals at branches.
+type cmpRec struct {
+	op    lang.Kind
+	a, b  int
+	neg   bool
+	valid bool
+}
+
+func isCmpKind(k lang.Kind) bool {
+	switch k {
+	case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		return true
+	}
+	return false
+}
+
+func satInc(x int64) int64 {
+	if x == math.MaxInt64 {
+		return x
+	}
+	return x + 1
+}
+
+func satDec(x int64) int64 {
+	if x == math.MinInt64 {
+		return x
+	}
+	return x - 1
+}
+
+// pathWalker abstractly interprets one regenerated acyclic path,
+// deciding whether the path can possibly execute (and record its ID).
+type pathWalker struct {
+	f   *cfg.Func
+	ii  *analysis.Intervals
+	env analysis.Env
+	cmp []cmpRec
+	// decisions taken along the current path, in step order.
+	decBlocks []int
+	decDirs   []bool
+}
+
+func newPathWalker(f *cfg.Func, ii *analysis.Intervals) *pathWalker {
+	return &pathWalker{
+		f:   f,
+		ii:  ii,
+		env: analysis.NewEnv(f.FrameSize),
+		cmp: make([]cmpRec, f.FrameSize),
+	}
+}
+
+// walk returns false when the path is proven infeasible: some step
+// contradicts the accumulated interval constraints, or a guaranteed
+// fault fires before the path's record point. On true, w.decBlocks /
+// w.decDirs hold the branch decisions the path makes.
+func (w *pathWalker) walk(steps []balllarus.PathStep) bool {
+	w.decBlocks = w.decBlocks[:0]
+	w.decDirs = w.decDirs[:0]
+	for i := range w.cmp {
+		w.cmp[i].valid = false
+	}
+	first := steps[0].Block
+	if !w.ii.Reached[first] {
+		return false
+	}
+	// Entry state: the fixpoint's join at the first block. For paths
+	// entering via a back edge this is the loop header's join over all
+	// iterations — a sound starting over-approximation.
+	w.env.CopyFrom(&w.ii.In[first])
+	for k, st := range steps {
+		b := st.Block
+		blk := &w.f.Blocks[b]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if w.ii.StepInstr(&w.env, in) != "" {
+				// Guaranteed fault: execution aborts before the path's
+				// record point (back edge or return), so this ID can
+				// never be recorded.
+				return false
+			}
+			w.updateCmp(in)
+		}
+		if k+1 < len(steps) {
+			if !w.takeBranch(b, steps[k+1].Block) {
+				return false
+			}
+			continue
+		}
+		// Last step. For back-edge exits the direction is decided by
+		// which successor edge is the back edge (when unambiguous); for
+		// return blocks the terminator imposes nothing further.
+		if st.ExitViaBackEdge && blk.Term.Kind == cfg.TermBr {
+			thenBack := blk.EdgeThen >= 0 && w.f.BackEdge[blk.EdgeThen]
+			elseBack := blk.EdgeElse >= 0 && w.f.BackEdge[blk.EdgeElse]
+			if thenBack != elseBack {
+				if !w.decide(b, thenBack) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// takeBranch applies the terminator constraint of block b given that
+// the path continues at next.
+func (w *pathWalker) takeBranch(b, next int) bool {
+	blk := &w.f.Blocks[b]
+	if blk.Term.Kind != cfg.TermBr || blk.Term.Then == blk.Term.Else {
+		return true
+	}
+	return w.decide(b, next == blk.Term.Then)
+}
+
+// decide records the branch decision and refines the environment with
+// it; false means the direction contradicts the intervals.
+func (w *pathWalker) decide(b int, dir bool) bool {
+	blk := &w.f.Blocks[b]
+	w.decBlocks = append(w.decBlocks, b)
+	w.decDirs = append(w.decDirs, dir)
+	cond := blk.Term.Cond
+	cv := w.env.Val[cond]
+	if cv.IsBottom() {
+		return false
+	}
+	if dir {
+		// Condition must be nonzero.
+		if cv == (analysis.Interval{Lo: 0, Hi: 0}) {
+			return false
+		}
+		if cv.Lo == 0 {
+			cv.Lo = 1
+		} else if cv.Hi == 0 {
+			cv.Hi = -1
+		}
+	} else {
+		if !cv.Contains(0) {
+			return false
+		}
+		cv = analysis.Interval{Lo: 0, Hi: 0}
+	}
+	w.env.Val[cond] = cv
+	if r := w.cmp[cond]; r.valid {
+		truth := dir != r.neg
+		if !w.refineOps(r.op, truth, r.a, r.b) {
+			return false
+		}
+	}
+	return true
+}
+
+// refineOps narrows the operand intervals of `a op b` knowing its
+// truth value; false means the constraint is unsatisfiable.
+func (w *pathWalker) refineOps(op lang.Kind, truth bool, a, b int) bool {
+	if !truth {
+		switch op {
+		case lang.EQ:
+			op = lang.NE
+		case lang.NE:
+			op = lang.EQ
+		case lang.LT:
+			op = lang.GE
+		case lang.LE:
+			op = lang.GT
+		case lang.GT:
+			op = lang.LE
+		case lang.GE:
+			op = lang.LT
+		}
+	}
+	av, bv := w.env.Val[a], w.env.Val[b]
+	if av.IsBottom() || bv.IsBottom() {
+		return false
+	}
+	switch op {
+	case lang.EQ:
+		m := analysis.Interval{Lo: maxI64(av.Lo, bv.Lo), Hi: minI64(av.Hi, bv.Hi)}
+		av, bv = m, m
+	case lang.NE:
+		if bv.Singleton() {
+			if av.Lo == bv.Lo {
+				av.Lo = satInc(av.Lo)
+			}
+			if av.Hi == bv.Lo {
+				av.Hi = satDec(av.Hi)
+			}
+		}
+		if av.Singleton() {
+			if bv.Lo == av.Lo {
+				bv.Lo = satInc(bv.Lo)
+			}
+			if bv.Hi == av.Lo {
+				bv.Hi = satDec(bv.Hi)
+			}
+		}
+	case lang.LT: // a < b
+		av.Hi = minI64(av.Hi, satDec(bv.Hi))
+		bv.Lo = maxI64(bv.Lo, satInc(av.Lo))
+	case lang.LE: // a <= b
+		av.Hi = minI64(av.Hi, bv.Hi)
+		bv.Lo = maxI64(bv.Lo, av.Lo)
+	case lang.GT: // a > b
+		av.Lo = maxI64(av.Lo, satInc(bv.Lo))
+		bv.Hi = minI64(bv.Hi, satDec(av.Hi))
+	case lang.GE: // a >= b
+		av.Lo = maxI64(av.Lo, bv.Lo)
+		bv.Hi = minI64(bv.Hi, av.Hi)
+	}
+	if av.IsBottom() || bv.IsBottom() {
+		return false
+	}
+	w.env.Val[a], w.env.Val[b] = av, bv
+	return true
+}
+
+// updateCmp maintains the relational shadows after in executes.
+func (w *pathWalker) updateCmp(in *cfg.Instr) {
+	d := analysis.InstrDef(in)
+	if d < 0 {
+		return
+	}
+	// Capture possible sources before invalidation: a move/negation of
+	// a shadowed slot transfers the relation.
+	var src cmpRec
+	switch {
+	case in.Op == cfg.OpMove:
+		src = w.cmp[in.A]
+	case in.Op == cfg.OpUn && in.Sub == lang.NOT:
+		src = w.cmp[in.A]
+		src.neg = !src.neg
+	}
+	// Any shadow whose operands include the redefined slot is stale.
+	for s := range w.cmp {
+		if w.cmp[s].valid && (w.cmp[s].a == d || w.cmp[s].b == d) {
+			w.cmp[s].valid = false
+		}
+	}
+	switch {
+	case in.Op == cfg.OpBin && isCmpKind(in.Sub) && in.A != d && in.B != d:
+		w.cmp[d] = cmpRec{op: in.Sub, a: in.A, b: in.B, valid: true}
+	case src.valid && src.a != d && src.b != d:
+		w.cmp[d] = src
+	default:
+		w.cmp[d].valid = false
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pathFacts is the outcome of the per-path walk over one function.
+type pathFacts struct {
+	numPaths   uint64
+	encodeOK   bool
+	walked     bool
+	infeasible []uint64
+	impls      []Implication
+}
+
+// walkPaths enumerates every acyclic path of f (when enumerable under
+// simulateCap), classifies each as feasible / proven-infeasible, and
+// mines pairwise branch implications from the feasible decision sets.
+func walkPaths(f *cfg.Func, ii *analysis.Intervals) pathFacts {
+	var pf pathFacts
+	enc, err := balllarus.Encode(f)
+	if err != nil {
+		return pf
+	}
+	pf.encodeOK = true
+	pf.numPaths = enc.NumPaths
+	if enc.NumPaths > simulateCap {
+		return pf
+	}
+	pf.walked = true
+
+	// Branch blocks eligible for implication mining, in block order.
+	var brBlocks []int
+	brIdx := make(map[int]int)
+	for b := range f.Blocks {
+		if f.Blocks[b].Term.Kind == cfg.TermBr && f.Blocks[b].Term.Then != f.Blocks[b].Term.Else {
+			brIdx[b] = len(brBlocks)
+			brBlocks = append(brBlocks, b)
+		}
+	}
+	mine := len(brBlocks) <= maxCorrelBranches
+
+	w := newPathWalker(f, ii)
+	type decSet struct{ decided, dir uint64 }
+	var feas []decSet
+	for id := uint64(0); id < enc.NumPaths; id++ {
+		steps, err := enc.Regenerate(id)
+		if err != nil || len(steps) == 0 {
+			continue
+		}
+		if !w.walk(steps) {
+			pf.infeasible = append(pf.infeasible, id)
+			continue
+		}
+		if !mine {
+			continue
+		}
+		var ds decSet
+		for i, b := range w.decBlocks {
+			bi, ok := brIdx[b]
+			if !ok {
+				continue
+			}
+			ds.decided |= 1 << uint(bi)
+			if w.decDirs[i] {
+				ds.dir |= 1 << uint(bi)
+			}
+		}
+		feas = append(feas, ds)
+	}
+	if !mine || len(feas) == 0 {
+		return pf
+	}
+
+	// Implication (b1,d1) => (b2,d2) holds when every feasible path
+	// deciding b1=d1 and deciding b2 agrees on d2 — with at least one
+	// witness, and only when b2 is not constant across all feasible
+	// paths (constant branches yield vacuous implications).
+	for i1, b1 := range brBlocks {
+		m1 := uint64(1) << uint(i1)
+		for _, d1 := range [2]bool{true, false} {
+			for i2, b2 := range brBlocks {
+				if i1 == i2 {
+					continue
+				}
+				m2 := uint64(1) << uint(i2)
+				// b2 constant over all feasible paths that decide it?
+				seenT, seenF := false, false
+				for _, ds := range feas {
+					if ds.decided&m2 != 0 {
+						if ds.dir&m2 != 0 {
+							seenT = true
+						} else {
+							seenF = true
+						}
+					}
+				}
+				if !seenT || !seenF {
+					continue
+				}
+				witness, holdsT, holdsF := 0, true, true
+				for _, ds := range feas {
+					if ds.decided&m1 == 0 || ds.decided&m2 == 0 {
+						continue
+					}
+					if (ds.dir&m1 != 0) != d1 {
+						continue
+					}
+					witness++
+					if ds.dir&m2 != 0 {
+						holdsF = false
+					} else {
+						holdsT = false
+					}
+				}
+				if witness == 0 {
+					continue
+				}
+				if holdsT {
+					pf.impls = append(pf.impls, Implication{B1: b1, D1: d1, B2: b2, D2: true, Witness: witness})
+				} else if holdsF {
+					pf.impls = append(pf.impls, Implication{B1: b1, D1: d1, B2: b2, D2: false, Witness: witness})
+				}
+			}
+		}
+	}
+	return pf
+}

@@ -1,0 +1,113 @@
+package interproc
+
+import "testing"
+
+// TestEqualityChainRefinement: taking `x == 5` pins x to the singleton
+// [5,5], so a later `x == 9` comparison on the same slot can only go
+// the else way — the both-then path is infeasible and the implication
+// (first=then => second=else) must be emitted.
+func TestEqualityChainRefinement(t *testing.T) {
+	fs := mustFacts(t, `
+func main(input) {
+    if (len(input) < 1) { return 0; }
+    var x = input[0];
+    var r = 0;
+    if (x == 5) { r = 1; }
+    if (x == 9) { r = r + 2; }
+    return r;
+}
+`)
+	mi := fs.Prog.ByName["main"]
+	ff := fs.Fns[mi]
+	if !ff.Walked {
+		t.Fatal("main should be path-enumerable")
+	}
+	if len(ff.Infeasible) == 0 {
+		t.Fatal("x==5 then x==9 both-then path not proven infeasible")
+	}
+	b1 := branchAt(t, fs, "main", 6).Block
+	b2 := branchAt(t, fs, "main", 7).Block
+	found := false
+	for _, im := range ff.Implications {
+		if im.B1 == b1 && im.D1 && im.B2 == b2 && !im.D2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing implication (x==5 then) => (x==9 else); have %+v", ff.Implications)
+	}
+}
+
+// TestEqualityRefinementStopsAtJoin: refinement from an equality test
+// must not leak past a join that merges the refined and unrefined
+// states — x is only [5,5] inside the then-arm, not after the if.
+func TestEqualityRefinementStopsAtJoin(t *testing.T) {
+	fs := mustFacts(t, `
+func main(input) {
+    if (len(input) < 2) { return 0; }
+    var x = input[0];
+    if (x == 5) { x = input[1]; }
+    if (x == 9) { return 1; }
+    return 2;
+}
+`)
+	mi := fs.Prog.ByName["main"]
+	ff := fs.Fns[mi]
+	if !ff.Walked {
+		t.Fatal("main should be path-enumerable")
+	}
+	// After the reassignment x is unconstrained on the then side and
+	// [≠5-refined or anything] on the else side, so both outcomes of
+	// `x == 9` are possible on every suffix: no implication may claim
+	// the second branch is decided by the first.
+	b1 := branchAt(t, fs, "main", 5).Block
+	b2 := branchAt(t, fs, "main", 6).Block
+	for _, im := range ff.Implications {
+		if im.B1 == b1 && im.B2 == b2 && im.D1 {
+			t.Errorf("unsound implication across reassignment: %+v", im)
+		}
+	}
+}
+
+// TestNegatedEqualityRefinement: the else side of an equality test
+// shaves the matched endpoint off a tight interval, deciding a
+// follow-up comparison. A comparison result is confined to [0,1], so
+// x != 1 (else of ==1) forces x == 0 and vice versa.
+func TestNegatedEqualityRefinement(t *testing.T) {
+	fs := mustFacts(t, `
+func main(input) {
+    if (len(input) < 1) { return 0; }
+    var x = input[0] > 50;
+    var r = 0;
+    if (x == 1) { r = 1; }
+    if (x == 0) { r = r + 2; }
+    return r;
+}
+`)
+	mi := fs.Prog.ByName["main"]
+	ff := fs.Fns[mi]
+	if !ff.Walked {
+		t.Fatal("main should be path-enumerable")
+	}
+	b1 := branchAt(t, fs, "main", 6).Block
+	b2 := branchAt(t, fs, "main", 7).Block
+	// x ∈ [0,1]: taking x==1 forces x!=0 (then => else), and skipping
+	// x==1 forces x==0 (else => then).
+	wantThen, wantElse := false, false
+	for _, im := range ff.Implications {
+		if im.B1 == b1 && im.B2 == b2 {
+			if im.D1 && !im.D2 {
+				wantThen = true
+			}
+			if !im.D1 && im.D2 {
+				wantElse = true
+			}
+		}
+	}
+	if !wantThen {
+		t.Errorf("missing (x==1 then) => (x==0 else); have %+v", ff.Implications)
+	}
+	if !wantElse {
+		t.Errorf("missing (x==1 else) => (x==0 then); have %+v", ff.Implications)
+	}
+}

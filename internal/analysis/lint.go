@@ -46,13 +46,33 @@ func Lint(ast *lang.Program, prog *cfg.Program) []Finding {
 	for _, f := range prog.Funcs {
 		out = append(out, lintIntervals(f)...)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Pos.Line != out[j].Pos.Line {
-			return out[i].Pos.Line < out[j].Pos.Line
-		}
-		return out[i].Pos.Col < out[j].Pos.Col
-	})
+	SortFindings(out)
 	return out
+}
+
+// SortFindings puts findings into the canonical diagnostic order:
+// position first, then check name, then function, then message. The
+// order is total over distinct findings, so any producer — including
+// ones that accumulate via map iteration — emits byte-identical output
+// across runs. Exported so tools that merge findings from several
+// analyses (palint with the interprocedural checks) share the order.
+func SortFindings(out []Finding) {
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // stmtTerminates reports whether s never falls through to the next

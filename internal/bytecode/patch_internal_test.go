@@ -107,9 +107,9 @@ func threadProg() *Program {
 	return &Program{
 		code: []instr{
 			{op: opStepBr, a: 0, b: 1, dst: 3},
-			{op: opAddJmp, imm: 9, a: 5},  // then-edge trampoline -> 5
-			{op: opJmp, a: 5},             // pristine jump: never threaded over
-			{op: opProbeAdd, imm: 5},      // else-edge inline probe
+			{op: opAddJmp, imm: 9, a: 5}, // then-edge trampoline -> 5
+			{op: opJmp, a: 5},            // pristine jump: never threaded over
+			{op: opProbeAdd, imm: 5},     // else-edge inline probe
 			{op: opStepChk},
 			{op: opStepRet, a: -1},
 		},

@@ -87,6 +87,12 @@ type Meta struct {
 	Budget  int64
 	MapSize int
 	Entry   string
+	// Guide records whether the campaign ran analysis-guided
+	// (fuzz.Options.AnalysisGuide); a resume must re-enable it to
+	// reproduce the guided mutation and scheduling decisions. Old
+	// checkpoints decode it as false (gob zero value), matching the
+	// option's default.
+	Guide bool
 }
 
 // Checkpoint bundles campaign identity and a full state snapshot.

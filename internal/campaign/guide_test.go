@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGuidedResumeDeterminism extends the durability guarantee to
+// analysis-guided campaigns: Meta.Guide round-trips through the sealed
+// checkpoint, and a guided campaign interrupted mid-run and resumed
+// with the recorded flag reproduces the uninterrupted guided run
+// byte-for-byte.
+func TestGuidedResumeDeterminism(t *testing.T) {
+	opts := testOpts()
+	opts.AnalysisGuide = true
+	meta := testMeta()
+	meta.Guide = true
+	want := baseline(t, opts)
+
+	dir := t.TempDir()
+	r := NewRunner(dir, Config{FS: OSFS{}, Interval: testInterval, Keep: 3, StopAfter: testStop})
+	if err := r.Start(compileT(t), opts, meta, testSeeds); err != nil {
+		t.Fatal(err)
+	}
+	if _, interrupted, err := r.Run(); err != nil || !interrupted {
+		t.Fatalf("expected interruption: interrupted=%v err=%v", interrupted, err)
+	}
+
+	ck, warns, err := LoadLatest(OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v (warnings: %v)", err, warns)
+	}
+	if !ck.Meta.Guide {
+		t.Fatal("Meta.Guide lost in the checkpoint round-trip")
+	}
+
+	// Resume the way pafuzz does: the guided flag comes from the
+	// checkpoint meta, not from flags.
+	resumeOpts := testOpts()
+	resumeOpts.AnalysisGuide = ck.Meta.Guide
+	r2 := NewRunner(dir, Config{FS: OSFS{}, Interval: testInterval, Keep: 3})
+	if err := r2.Attach(compileT(t), resumeOpts, ck); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	rep, interrupted, err := r2.Run()
+	if err != nil || interrupted || rep == nil {
+		t.Fatalf("resumed run did not complete: interrupted=%v err=%v", interrupted, err)
+	}
+	got, err := CanonicalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("guided resumed report differs from uninterrupted baseline (%d vs %d canonical bytes)", len(got), len(want))
+	}
+}

@@ -85,6 +85,10 @@ type Campaign struct {
 	// ReachBoost enables the static crash-site reachability term in
 	// the power schedule.
 	ReachBoost bool
+	// AnalysisGuide enables analysis-guided fuzzing (interprocedural
+	// input-dependency facts steering mutation, scheduling, cmplog,
+	// and CGT elision; see fuzz.Options.AnalysisGuide).
+	AnalysisGuide bool
 	// Status, when non-nil, receives periodic one-line campaign status
 	// (engine, execs/sec, queue, coverage).
 	Status io.Writer
@@ -122,6 +126,7 @@ func (t *Target) Fuzz(c Campaign) (*Outcome, error) {
 			Engine:          c.Engine,
 			Instr:           c.Instr,
 			ReachBoost:      c.ReachBoost,
+			AnalysisGuide:   c.AnalysisGuide,
 			Status:          c.Status,
 			StatusPeriod:    c.StatusPeriod,
 			StatusEvery:     c.StatusEvery,

@@ -196,6 +196,13 @@ func (v *Virgin) Len() int { return len(v.bits) }
 // behaviour has been observed. O(1).
 func (v *Virgin) Count() int { return v.consumed }
 
+// Untouched reports whether cell i is still fully virgin — no
+// behaviour has ever been observed there. The index is masked exactly
+// as Map.Add masks, so callers can pass unmasked probe indices.
+func (v *Virgin) Untouched(i uint32) bool {
+	return v.bits[i&uint32(len(v.bits)-1)] == 0xff
+}
+
 // Merge checks classified trace bits against the virgin map, consumes
 // any new bits, and reports the highest novelty found.
 //

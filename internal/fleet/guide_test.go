@@ -1,0 +1,101 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fleet"
+	"repro/internal/fuzz"
+)
+
+func guidedOpts() fuzz.Options {
+	opts := testOpts()
+	opts.AnalysisGuide = true
+	return opts
+}
+
+func guidedMeta() campaign.Meta {
+	meta := testMeta()
+	meta.Guide = true
+	return meta
+}
+
+// TestGuidedFleetSingleWorkerByteIdentity anchors guided fleet
+// determinism: a 1-worker guided fleet equals a plain guided fuzzer
+// with the same seed and budget, byte for byte.
+func TestGuidedFleetSingleWorkerByteIdentity(t *testing.T) {
+	f, err := fuzz.New(compileT(t), guidedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range testSeeds {
+		f.AddSeed(s)
+	}
+	f.Fuzz(testBudget)
+	want := canonical(t, f.Report())
+
+	s := fleet.New(t.TempDir(), fleetOpts(1))
+	if err := s.Start(compileT(t), guidedOpts(), guidedMeta(), testSeeds); err != nil {
+		t.Fatalf("fleet start: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if got := canonical(t, res.Merged); !bytes.Equal(got, want) {
+		t.Fatalf("guided 1-worker fleet differs from plain guided fuzzer (%d vs %d canonical bytes)", len(got), len(want))
+	}
+}
+
+// TestGuidedFleetResumeDeterminism: a 2-worker guided fleet stopped
+// mid-flight and re-attached from its manifest finishes with the same
+// merged report as an unstopped run — the guided state is derived, so
+// nothing about it may leak into checkpoints or sync artifacts.
+func TestGuidedFleetResumeDeterminism(t *testing.T) {
+	clean := func() []byte {
+		s := fleet.New(t.TempDir(), fleetOpts(2))
+		if err := s.Start(compileT(t), guidedOpts(), guidedMeta(), testSeeds); err != nil {
+			t.Fatalf("fleet start: %v", err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("fleet run: %v", err)
+		}
+		return canonical(t, res.Merged)
+	}()
+
+	dir := t.TempDir()
+	opts := fleetOpts(2)
+	opts.StopAfter = 2 * testSync
+	s := fleet.New(dir, opts)
+	if err := s.Start(compileT(t), guidedOpts(), guidedMeta(), testSeeds); err != nil {
+		t.Fatalf("fleet start: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("interrupted fleet run: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("fleet was not interrupted")
+	}
+
+	man, err := fleet.LoadManifest(campaign.OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("load manifest: %v", err)
+	}
+	s2 := fleet.New(dir, fleetOpts(2))
+	if err := s2.Attach(compileT(t), guidedOpts(), man); err != nil {
+		t.Fatalf("fleet attach: %v", err)
+	}
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatalf("resumed fleet run: %v", err)
+	}
+	if res2.Interrupted {
+		t.Fatal("resumed guided fleet interrupted again")
+	}
+	if got := canonical(t, res2.Merged); !bytes.Equal(got, clean) {
+		t.Fatalf("resumed guided fleet differs from clean guided fleet (%d vs %d canonical bytes)", len(got), len(clean))
+	}
+}

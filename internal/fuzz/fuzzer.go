@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
 	"repro/internal/bytecode"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
@@ -127,6 +128,16 @@ type Options struct {
 	// Engine selects the execution engine (EngineAuto by default: the
 	// compiled bytecode engine with interpreter fallback).
 	Engine Engine
+	// AnalysisGuide enables analysis-guided fuzzing: interprocedural
+	// input-dependency facts (package analysis/interproc) focus havoc's
+	// byte mutations on the dependency ranges of rare frontier
+	// branches, boost the power schedule toward input-dependent
+	// unexplored branches (the analysis generalization of ReachBoost),
+	// skip provably input-independent cmplog sites, and let the CGT
+	// engine elide probes of statically-dead path cells. See guide.go.
+	// Off by default; campaigns with it off are byte-identical to
+	// previous behaviour.
+	AnalysisGuide bool
 	// ReachBoost enables the static crash-site reachability term in
 	// the power schedule: entries whose coverage borders many
 	// statically reachable crash sites get up to twice the havoc
@@ -318,8 +329,8 @@ type Fuzzer struct {
 	// cgt, when non-nil, selects the coverage-guided tracing engine:
 	// executions dispatch to its patched fast machine and mach becomes
 	// the retrace (full-instrumentation) machine. See cgt.go.
-	cgt *cgtState
-	cov *coverage.Map
+	cgt    *cgtState
+	cov    *coverage.Map
 	virgin *coverage.Virgin
 	// crashVirgin implements AFL's crash-uniqueness criterion.
 	crashVirgin *coverage.Virgin
@@ -350,6 +361,12 @@ type Fuzzer struct {
 	// program-wide maximum, the boost's normalizer.
 	reachW   []int
 	reachMax int
+
+	// guide holds the analysis-guided state (Options.AnalysisGuide;
+	// nil otherwise), and covCount the per-cell queue coverage counts
+	// behind its rarity ordering — derived state, rebuilt on restore.
+	guide    *guideState
+	covCount map[uint32]int
 
 	dictSeen map[string]bool
 
@@ -409,6 +426,15 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 	if prog.Func(opts.Entry) == nil {
 		return nil, fmt.Errorf("fuzz: program has no entry function %q", opts.Entry)
 	}
+	var guide *guideState
+	if opts.AnalysisGuide {
+		// The facts ride along in the instrumentation config (where
+		// guided consumers expect them) but never affect lowering, so
+		// the compile below is shared with unguided campaigns.
+		facts := interproc.For(prog, prog.ByName[opts.Entry])
+		opts.Instr.Facts = facts
+		guide = newGuide(prog, facts, opts.Feedback, opts.MapSize, opts.Instr)
+	}
 	m := coverage.NewMap(opts.MapSize)
 	var mach *bytecode.Machine
 	var cgt *cgtState
@@ -462,6 +488,10 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		bugs:        make(map[string]*CrashRec),
 		dictSeen:    make(map[string]bool),
 		tel:         opts.Telemetry,
+		guide:       guide,
+	}
+	if guide != nil {
+		f.covCount = make(map[uint32]int)
 	}
 	if opts.ReachBoost {
 		f.reachW, f.reachMax = reachWeights(prog, opts.Feedback, opts.MapSize)
@@ -748,6 +778,7 @@ func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSe
 		f.maxDepth = depth
 	}
 	f.updateTopRated(e)
+	f.noteCov(e)
 	return e
 }
 
@@ -867,6 +898,18 @@ func (f *Fuzzer) energy(e *Entry) int {
 		}
 		score *= 1 + float64(best)/float64(f.reachMax)
 	}
+	if f.guide != nil && f.guide.wMax > 0 {
+		// Analysis-guided frontier prior: inputs bordering the most
+		// input-dependent unexplored branch sides get up to 2x budget
+		// (the interprocedural generalization of the reach boost).
+		best := 0
+		for _, i := range e.Cov {
+			if int(i) < len(f.guide.w) && f.guide.w[i] > best {
+				best = f.guide.w[i]
+			}
+		}
+		score *= 1 + float64(best)/float64(f.guide.wMax)
+	}
 	limit := 512.0
 	if f.opts.Profile == ProfileAFL {
 		limit = 384
@@ -982,7 +1025,10 @@ func (f *Fuzzer) Fuzz(budget int64) {
 			// probe-elision plan is recomputed from the virgin map
 			// here and nowhere else inside the loop, so the plan is a
 			// deterministic function of cycle-start campaign state.
+			// Guided campaigns refresh their frontier weights at the
+			// same boundary, for the same determinism property.
 			f.replanCGT()
+			f.updateGuide()
 			f.qi, f.qlen = 0, len(f.queue)
 			f.midCycle = true
 		}
@@ -1152,8 +1198,24 @@ func (f *Fuzzer) fuzzOne(e *Entry, budget int64) {
 	if f.tel != nil {
 		defer f.tel.StartSpan(telemetry.StageHavoc)()
 	}
+	var gMask []interproc.ByteRange
+	var gTotal int64
+	if f.guide != nil {
+		gMask, gTotal = f.guideMaskFor(e)
+	}
 	iters := f.energy(e)
 	for i := 0; i < iters && f.stats.Execs < budget; i++ {
+		// The frontier mask focuses alternate iterations only: the even
+		// ones hammer the dependency bytes of the rarest bordering
+		// frontier branch, the odd ones keep the unrestricted havoc that
+		// finds coverage the analysis did not point at. Focusing every
+		// iteration measurably starves broad exploration on subjects
+		// whose frontier branches resist flipping (flvmeta, imginfo).
+		if gTotal > 0 && i%2 == 0 {
+			f.mut.mask, f.mut.maskTotal = gMask, gTotal
+		} else {
+			f.mut.mask, f.mut.maskTotal = nil, 0
+		}
 		var cand []byte
 		if len(f.queue) > 1 && f.rng.Intn(100) < 15 {
 			other := f.queue[f.rng.Intn(len(f.queue))]
@@ -1192,6 +1254,11 @@ func (f *Fuzzer) cmplogStage(e *Entry, cmps []vm.CmpObs) {
 	const maxAttempts = 48
 	for _, obs := range cmps {
 		if obs.A == obs.B {
+			continue
+		}
+		if f.guide != nil && f.guide.skipCmp(obs) {
+			// Every static site matching this observation's signature is
+			// input-independent: substitution can never flip it.
 			continue
 		}
 		// Auto-dictionary: constants under comparison become tokens.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/interproc"
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/vm"
@@ -111,6 +112,12 @@ type Config struct {
 	// tests pin its observational equivalence — and the flag exists for
 	// the ablation bench and debugging.
 	NoOpt bool
+	// Facts carries the interprocedural analysis result consumed by
+	// guided-mode clients (analysis-guided mutation, dead path-cell
+	// elision; see guide.go). It never influences tracer construction
+	// or bytecode lowering — the compile cache strips it from its key —
+	// so a nil and non-nil Facts produce byte-identical instrumentation.
+	Facts *interproc.Facts
 }
 
 func (c Config) withDefaults() Config {

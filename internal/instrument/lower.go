@@ -9,7 +9,9 @@ import (
 )
 
 // compileKey identifies one compiled (program, feedback, config)
-// triple. Config is comparable (plain scalars), so the whole key is.
+// triple. Config is comparable (plain scalars plus the Facts pointer),
+// so the whole key is; Facts is stripped before keying because it never
+// affects lowering (guided and unguided campaigns share one compile).
 type compileKey struct {
 	prog *cfg.Program
 	fb   Feedback
@@ -27,7 +29,9 @@ var compileCache sync.Map // compileKey -> *bytecode.Program
 // semantics and run on the reference interpreter).
 func CompiledFor(fb Feedback, prog *cfg.Program, c Config) (cp *bytecode.Program, ok bool) {
 	c = c.withDefaults()
-	key := compileKey{prog: prog, fb: fb, cfg: c}
+	kc := c
+	kc.Facts = nil
+	key := compileKey{prog: prog, fb: fb, cfg: kc}
 	if v, hit := compileCache.Load(key); hit {
 		return v.(*bytecode.Program), true
 	}

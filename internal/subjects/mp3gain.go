@@ -13,7 +13,7 @@ const mp3gainSrc = `
 // gain byte, payload(4).
 
 func frame_size(bitrate) {
-    var sz = 144 * bitrate / 14; // arbitrary model constant
+    var sz = 144 * bitrate / 14; // arbitrary model constant; 112 -> 1152
     return sz;
 }
 
@@ -31,7 +31,7 @@ func scan_frame(input, pos, st) {
     bitrate_tab[10] = 160; bitrate_tab[11] = 192; bitrate_tab[12] = 224;
     bitrate_tab[13] = 256; bitrate_tab[14] = 320;
     var br = bitrate_tab[bidx];
-    var padding = 144 * 8 / br; // BUG mg-2: free-format (0) and reserved (15) rates are zero
+    var padding = frame_size(112) / br; // BUG mg-2: free-format (0) and reserved (15) rates are zero
     if (flags == 3 && bidx >= 12) {
         // BUG mg-1 (setup): the VBR high-bitrate path trusts the gain
         // byte as a signed offset from 64 without the clamp the normal
