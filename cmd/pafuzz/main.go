@@ -34,6 +34,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/fuzz"
 	"repro/internal/instrument"
+	"repro/internal/journal"
 	"repro/internal/strategy"
 	"repro/internal/subjects"
 	"repro/internal/telemetry"
@@ -70,6 +71,8 @@ func main() {
 		opt         = flag.Bool("opt", true, "enable verified bytecode optimization passes (constant folding, dead code)")
 		reach       = flag.Bool("reach", false, "boost power-schedule energy by static crash-site reachability")
 		guide       = flag.Bool("analysis-guide", false, "analysis-guided fuzzing: focus mutations on input-dependency byte ranges, boost unexplored input-dependent branches, skip input-independent cmplog sites")
+		journalOn   = flag.Bool("journal", true, "write the structured event journal under <state>/journal (durable campaigns; inspect with paprof -journal)")
+		stopAfter   = flag.Int64("stop-after", 0, "interrupt the campaign once the exec counter reaches this (reproducible interruption for resume/journal smoke tests)")
 	)
 	flag.Parse()
 
@@ -97,6 +100,11 @@ func main() {
 		MaxRestarts: *maxRestarts,
 		CkptEvery:   *ckptEvery,
 		Log:         os.Stderr,
+		StopAfter:   *stopAfter,
+	}
+	if *statusEvery > 0 {
+		fleetOpts.Status = os.Stderr
+		fleetOpts.StatusEvery = *statusPer
 	}
 	if *chaosEvery > 0 {
 		n := *chaosEvery
@@ -113,10 +121,10 @@ func main() {
 			fatalf("-resume requires -o <state dir>")
 		}
 		if fleet.HasManifest(campaign.OSFS{}, *stateDir) {
-			resumeFleetCampaign(*stateDir, fleetOpts, engine, *metricsAddr, *showCrash)
+			resumeFleetCampaign(*stateDir, fleetOpts, engine, *metricsAddr, *showCrash, *journalOn)
 			return
 		}
-		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery, *statusPer, *metricsAddr)
+		resumeCampaign(*stateDir, *ckptEvery, *showCrash, engine, *statusEvery, *statusPer, *metricsAddr, *journalOn, *stopAfter)
 		return
 	}
 
@@ -204,23 +212,28 @@ func main() {
 			if *statusEvery <= 0 {
 				opts.Status = nil
 			}
+			jw := openJournal(*stateDir, *journalOn, rec)
 			if *workers > 1 {
 				fleetOpts.Telemetry = rec
+				fleetOpts.Journal = jw
 				s := fleet.New(*stateDir, fleetOpts)
 				if err := s.Start(target.Prog, opts, meta, seeds); err != nil {
 					fatalf("%v", err)
 				}
 				fmt.Printf("fleet: %d workers, %d execs each (sync every %d)\n", *workers, *budget, *syncEvery)
 				runFleetDurable(s, *stateDir, *fuzzerName, *showCrash)
+				closeJournal(jw)
 				closeTelemetry(rec)
 				return
 			}
-			r := campaign.NewRunner(*stateDir, campaign.Config{Interval: *ckptEvery, Log: os.Stderr})
+			opts.Journal = jw
+			r := campaign.NewRunner(*stateDir, campaign.Config{Interval: *ckptEvery, Log: os.Stderr, StopAfter: *stopAfter})
 			if err := r.Start(target.Prog, opts, meta, seeds); err != nil {
 				fatalf("%v", err)
 			}
 			fillEngineInfo(rec, r.Fuzzer())
 			runDurable(r, *stateDir, *fuzzerName, *showCrash)
+			closeJournal(jw)
 			closeTelemetry(rec)
 			return
 		}
@@ -281,6 +294,35 @@ func main() {
 	printReport(*fuzzerName, out.Report, out.Rounds, *showCrash)
 }
 
+// openJournal opens (or resumes) the structured event journal under
+// <state>/journal. Journaling is display-only: a failed open degrades
+// to a warning and the campaign runs unjournaled, byte-identical.
+// When a recorder is active the journal directory is registered so the
+// metrics endpoint can serve /genealogy.
+func openJournal(stateDir string, enabled bool, rec *telemetry.Recorder) *journal.Writer {
+	if !enabled || stateDir == "" {
+		return nil
+	}
+	jw, err := journal.Open(filepath.Join(stateDir, "journal"), journal.Options{})
+	if err != nil {
+		warnf("journal disabled: %v", err)
+		return nil
+	}
+	if rec != nil {
+		rec.SetJournalDir(jw.Dir())
+	}
+	return jw
+}
+
+func closeJournal(jw *journal.Writer) {
+	if jw == nil {
+		return
+	}
+	if err := jw.Close(); err != nil {
+		warnf("closing journal: %v", err)
+	}
+}
+
 // startTelemetry builds the campaign's telemetry recorder: AFL-style
 // fuzzer_stats/plot_data under stateDir (when set) and the live HTTP
 // endpoint on metricsAddr (when set). Returns nil when neither output
@@ -333,7 +375,7 @@ func closeTelemetry(rec *telemetry.Recorder) {
 // resumeCampaign reloads the newest valid checkpoint under dir,
 // reconstructs the target from its metadata, and runs the campaign to
 // completion (or the next interruption).
-func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Engine, statusEvery int64, statusPer time.Duration, metricsAddr string) {
+func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Engine, statusEvery int64, statusPer time.Duration, metricsAddr string, journalOn bool, stopAfter int64) {
 	ck, warns, err := campaign.LoadLatest(campaign.OSFS{}, dir)
 	for _, w := range warns {
 		warnf("%s", w)
@@ -382,13 +424,19 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 	if statusEvery > 0 {
 		opts.Status = os.Stderr
 	}
-	r := campaign.NewRunner(dir, campaign.Config{Interval: ckptEvery, Log: os.Stderr})
+	// Attach → fuzz.Restore truncates the journal back to the
+	// checkpoint's event count; the replayed executions re-emit an
+	// identical tail, keeping the resumed journal gapless.
+	jw := openJournal(dir, journalOn, rec)
+	opts.Journal = jw
+	r := campaign.NewRunner(dir, campaign.Config{Interval: ckptEvery, Log: os.Stderr, StopAfter: stopAfter})
 	if err := r.Attach(target.Prog, opts, ck); err != nil {
 		fatalf("%v", err)
 	}
 	fillEngineInfo(rec, r.Fuzzer())
 	fmt.Printf("resuming %s campaign at %d/%d execs\n", meta.Fuzzer, r.Fuzzer().Execs(), meta.Budget)
 	runDurable(r, dir, meta.Fuzzer, showCrash)
+	closeJournal(jw)
 	closeTelemetry(rec)
 }
 
@@ -429,7 +477,7 @@ func targetFromMeta(meta campaign.Meta) *core.Target {
 // workers' own checkpoints. The manifest's fleet shape (worker count,
 // sync cadence, restart budget) overrides the flags — resuming with
 // different values would break determinism.
-func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metricsAddr string, showCrash bool) {
+func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metricsAddr string, showCrash bool, journalOn bool) {
 	man, err := fleet.LoadManifest(campaign.OSFS{}, dir)
 	if err != nil {
 		fatalf("fleet manifest: %v", err)
@@ -462,12 +510,17 @@ func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metri
 		AnalysisGuide:   meta.Guide,
 	}
 	fo.Telemetry = rec
+	// The fleet journal is supervisor-shared: worker restores append to
+	// it without truncation, so peer events survive a resume.
+	jw := openJournal(dir, journalOn, rec)
+	fo.Journal = jw
 	s := fleet.New(dir, fo)
 	if err := s.Attach(target.Prog, opts, man); err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("resuming %s fleet: %d workers, %d execs each\n", meta.Fuzzer, man.Workers, meta.Budget)
 	runFleetDurable(s, dir, meta.Fuzzer, showCrash)
+	closeJournal(jw)
 	closeTelemetry(rec)
 }
 

@@ -1,0 +1,153 @@
+// The forensics modes of paprof: `-journal` validates and summarises a
+// campaign's structured event journal; `-genealogy` renders corpus
+// provenance (genealogy DAG, per-stage discovery attribution, path
+// rarity) from a campaign's checkpoints. Both work offline from the
+// state directory alone — no target compilation, no re-execution.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/fleet"
+	"repro/internal/fuzz"
+	"repro/internal/journal"
+)
+
+// resolveJournalDir accepts either a campaign state directory or the
+// journal directory itself.
+func resolveJournalDir(dir string) string {
+	if _, err := os.Stat(filepath.Join(dir, "journal")); err == nil {
+		return filepath.Join(dir, "journal")
+	}
+	return dir
+}
+
+// runJournal reads, validates, and summarises a journal directory. The
+// exit code is the validation verdict — the CI smoke job greps nothing,
+// it just runs this and checks the status.
+func runJournal(dir string) {
+	jdir := resolveJournalDir(dir)
+	events, diag, err := journal.ReadDir(jdir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("journal %s: %d segments, %d events, seq %d..%d\n",
+		diag.Dir, diag.Segments, diag.Events, diag.FirstSeq, diag.LastSeq)
+	for _, t := range diag.Torn {
+		fmt.Printf("  torn (recoverable): %s\n", t)
+	}
+	counts := journal.KindCounts(events)
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-12s %d\n", k, counts[k])
+	}
+	if len(events) > 0 {
+		fmt.Println()
+		journal.EventAttribution(os.Stdout, events)
+	}
+	if flights, _ := filepath.Glob(filepath.Join(jdir, journal.FlightDir, "*.jsonl")); len(flights) > 0 {
+		fmt.Printf("\nflight-recorder dumps:\n")
+		for _, f := range flights {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if !diag.OK() {
+		for _, e := range diag.Errors {
+			fmt.Fprintf(os.Stderr, "paprof: journal error: %s\n", e)
+		}
+		for _, g := range diag.Gaps {
+			fmt.Fprintf(os.Stderr, "paprof: journal gap: %s\n", g)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\njournal OK (gapless, schema-clean)")
+}
+
+// runGenealogy loads corpus provenance from a campaign (or fleet) state
+// directory's checkpoints and renders the genealogy DAG, per-stage
+// discovery-attribution table, and path-rarity histogram. With htmlOut
+// the same report is written as a self-contained HTML page.
+func runGenealogy(dir, htmlOut string) {
+	corpus, label := loadProvenance(dir)
+	if len(corpus) == 0 {
+		fatalf("no corpus provenance under %s (no usable checkpoint?)", dir)
+	}
+	// The journal stream is optional garnish here: provenance lives in
+	// the checkpoints, but event-based attribution is shown when a
+	// journal is present.
+	var events []journal.Event
+	if jdir := filepath.Join(dir, "journal"); dirExists(jdir) {
+		events, _, _ = journal.ReadDir(jdir)
+	}
+	journal.Attribution(os.Stdout, label, corpus)
+	fmt.Println()
+	journal.Rarity(os.Stdout, corpus)
+	fmt.Println()
+	journal.Genealogy(os.Stdout, corpus)
+	if len(events) > 0 {
+		fmt.Println()
+		journal.EventAttribution(os.Stdout, events)
+	}
+	if htmlOut != "" {
+		page := journal.HTMLReport("paprof genealogy", label, corpus, events)
+		if err := os.WriteFile(htmlOut, page, 0o644); err != nil {
+			fatalf("writing %s: %v", htmlOut, err)
+		}
+		fmt.Printf("\nHTML report: %s\n", htmlOut)
+	}
+}
+
+// loadProvenance reads corpus provenance from the newest checkpoint(s)
+// under dir: every worker-N/ subdirectory for fleet state directories,
+// the directory itself otherwise.
+func loadProvenance(dir string) (corpus []journal.CorpusMeta, label string) {
+	fs := campaign.OSFS{}
+	if fleet.HasManifest(fs, dir) {
+		man, err := fleet.LoadManifest(fs, dir)
+		if err != nil {
+			fatalf("fleet manifest: %v", err)
+		}
+		for i := 0; i < man.Workers; i++ {
+			wdir := filepath.Join(dir, fmt.Sprintf("worker-%d", i))
+			ck, warns, err := campaign.LoadLatest(fs, wdir)
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "paprof: worker %d: %s\n", i, w)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paprof: worker %d: %v\n", i, err)
+				continue
+			}
+			corpus = append(corpus, fuzz.SnapshotProvenance(ck.Snap, i)...)
+		}
+		return corpus, metaLabel(man.Meta) + " (fleet)"
+	}
+	ck, warns, err := campaign.LoadLatest(fs, dir)
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "paprof: %s\n", w)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return fuzz.SnapshotProvenance(ck.Snap, 0), metaLabel(ck.Meta)
+}
+
+func metaLabel(meta campaign.Meta) string {
+	name := meta.Subject
+	if name == "" {
+		name = filepath.Base(meta.Source)
+	}
+	return name + "/" + meta.Fuzzer
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -45,8 +45,22 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a runtime execution trace of the run to this file (inspect with go tool trace)")
 		engineName  = flag.String("engine", "", "also re-execute the input in a loop under this execution engine (bytecode|cgt|interp) so -cpuprofile/-memprofile capture engine hot paths")
 		engineExecs = flag.Int("execs", 10000, "repeat count for the -engine profiling loop")
+		journalDir  = flag.String("journal", "", "validate and summarise a campaign's event journal (state dir or journal dir) and exit; exit status 1 on gaps or schema errors")
+		genealogy   = flag.String("genealogy", "", "render corpus genealogy, discovery attribution, and path rarity from a campaign (or fleet) state directory and exit")
+		htmlOut     = flag.String("html", "", "with -genealogy: also write the report as a self-contained HTML page to this file")
 	)
 	flag.Parse()
+
+	// The forensics modes work offline from a state directory — no
+	// target, no execution — so they run before the -subject/-src check.
+	if *journalDir != "" {
+		runJournal(*journalDir)
+		return
+	}
+	if *genealogy != "" {
+		runGenealogy(*genealogy, *htmlOut)
+		return
+	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/fuzz"
+	"repro/internal/journal"
 )
 
 // Version is the checkpoint format version; a bump invalidates older
@@ -226,6 +227,7 @@ func CanonicalReport(r *fuzz.Report) ([]byte, error) {
 		MapCount   int
 		Faults     []fuzz.InternalFault
 		Poison     []fuzz.PoisonRec
+		Corpus     []journal.CorpusMeta
 	}{}
 	if r != nil {
 		flat.Stats = r.Stats
@@ -237,6 +239,7 @@ func CanonicalReport(r *fuzz.Report) ([]byte, error) {
 		flat.MapCount = r.MapCount
 		flat.Faults = r.Faults
 		flat.Poison = r.Poison
+		flat.Corpus = r.Corpus
 		for _, k := range r.BugKeys() {
 			flat.Bugs = append(flat.Bugs, bugRec{Key: k, Rec: r.Bugs[k]})
 		}

@@ -221,6 +221,11 @@ func (r *Runner) checkpoint() error {
 		return err
 	}
 	r.lastCkpt = snap.Stats.Execs
+	if tel := r.f.Telemetry(); tel != nil {
+		// Liveness for /healthz: a durable campaign that stops
+		// checkpointing is unhealthy even while its exec counter moves.
+		tel.NoteCheckpoint(snap.Stats.Execs)
+	}
 	r.writeFindings(snap)
 	return nil
 }

@@ -3,10 +3,15 @@ package campaign
 import (
 	"bytes"
 	"encoding/gob"
+	"path/filepath"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/fuzz"
+	"repro/internal/journal"
+	"repro/internal/telemetry"
 )
 
 func gobStats(t *testing.T, s fuzz.Stats) []byte {
@@ -78,5 +83,108 @@ func TestStatsRoundTripAudit(t *testing.T) {
 	}
 	if !bytes.Equal(gobStats(t, rep.Stats), gobStats(t, want)) {
 		t.Error("resumed final Stats not byte-identical to uninterrupted run")
+	}
+}
+
+// statExecsDone parses execs_done out of a fuzzer_stats file.
+func statExecsDone(t *testing.T, dir string) int64 {
+	t.Helper()
+	data, err := OSFS{}.ReadFile(filepath.Join(dir, "fuzzer_stats"))
+	if err != nil {
+		t.Fatalf("fuzzer_stats: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok || strings.TrimSpace(k) != "execs_done" {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			t.Fatalf("execs_done %q: %v", v, err)
+		}
+		return n
+	}
+	t.Fatalf("no execs_done in fuzzer_stats:\n%s", data)
+	return 0
+}
+
+// TestStatsJournalAgreeOnResume is the journal/stats cross-audit: after
+// an interrupted campaign resumes to completion with both the AFL stats
+// emitter and the event journal attached, all three exec ledgers must
+// agree — fuzzer_stats' execs_done, the journal's finish event, and the
+// report itself. A disagreement means a counter was restored along one
+// path but not the other.
+func TestStatsJournalAgreeOnResume(t *testing.T) {
+	opts := testOpts()
+	dir := t.TempDir()
+
+	// Interrupted leg, journaled.
+	w := openJournalT(t, dir)
+	o := opts
+	o.Journal = w
+	r := NewRunner(dir, Config{FS: OSFS{}, Interval: testInterval, Keep: 3, StopAfter: testStop})
+	if err := r.Start(compileT(t), o, testMeta(), testSeeds); err != nil {
+		t.Fatal(err)
+	}
+	if _, interrupted, err := r.Run(); err != nil || !interrupted {
+		t.Fatalf("expected interruption: err=%v interrupted=%v", err, interrupted)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed leg, with telemetry + fuzzer_stats attached on top.
+	ck, warns, err := LoadLatest(OSFS{}, dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v (warnings %v)", err, warns)
+	}
+	rec := telemetry.New(telemetry.Config{})
+	if err := rec.AttachAFLOutput(dir); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openJournalT(t, dir)
+	o2 := opts
+	o2.Journal = w2
+	o2.Telemetry = rec
+	r2 := NewRunner(dir, Config{FS: OSFS{}, Interval: testInterval, Keep: 3})
+	if err := r2.Attach(compileT(t), o2, ck); err != nil {
+		t.Fatal(err)
+	}
+	rep, interrupted, err := r2.Run()
+	if err != nil || interrupted || rep == nil {
+		t.Fatalf("resumed run did not complete: err=%v interrupted=%v", err, interrupted)
+	}
+	if _, ok := rec.Sample(); !ok {
+		t.Fatal("final telemetry sample recorded nothing")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := statExecsDone(t, dir); got != rep.Stats.Execs {
+		t.Errorf("fuzzer_stats execs_done %d != report execs %d", got, rep.Stats.Execs)
+	}
+	events, diag, err := journal.ReadDir(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.OK() {
+		t.Fatalf("journal not OK: errors=%v gaps=%v", diag.Errors, diag.Gaps)
+	}
+	var finish *journal.Event
+	for i := range events {
+		if events[i].Kind == journal.KindFinish {
+			finish = &events[i]
+		}
+	}
+	if finish == nil {
+		t.Fatal("no finish event in resumed journal")
+	}
+	if finish.Execs != rep.Stats.Execs {
+		t.Errorf("journal finish execs %d != report execs %d", finish.Execs, rep.Stats.Execs)
+	}
+	if finish.Bugs != len(rep.Bugs) || finish.Queue != rep.QueueLen {
+		t.Errorf("finish event (bugs=%d queue=%d) disagrees with report (bugs=%d queue=%d)",
+			finish.Bugs, finish.Queue, len(rep.Bugs), rep.QueueLen)
 	}
 }

@@ -242,6 +242,9 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 					if saveEr == nil {
 						saveEr = saveCurve(cfg, rr)
 					}
+					if saveEr == nil {
+						saveEr = saveProvenance(cfg, rr)
+					}
 				}
 			}
 			mu.Lock()

@@ -1,0 +1,38 @@
+package evalharness
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+	"repro/internal/strategy"
+)
+
+// provenanceDir is the StateDir subdirectory holding per-run corpus
+// provenance summaries: one CSV per campaign (parent lineage, discovery
+// stage, exec index, first-discovered cells), written next to the
+// coverage curves so discovery-attribution plots can be regenerated
+// without re-running anything.
+const provenanceDir = "provenance"
+
+func provenanceFileName(subject string, f strategy.Name, run int) string {
+	return fmt.Sprintf("%s_%s_%03d_prov.csv", campaign.SanitizeName(subject), campaign.SanitizeName(string(f)), run)
+}
+
+// saveProvenance persists one run's corpus provenance under
+// StateDir/provenance. Runs whose report carries no provenance (legacy
+// multi-round strategies merge queues without it) write a header-only
+// file — presence still marks the run as covered.
+func saveProvenance(cfg Config, rr *RunResult) error {
+	dir := filepath.Join(cfg.StateDir, provenanceDir)
+	if err := cfg.FS.MkdirAll(dir); err != nil {
+		return err
+	}
+	var corpus []journal.CorpusMeta
+	if rr.Report != nil {
+		corpus = rr.Report.Corpus
+	}
+	path := filepath.Join(dir, provenanceFileName(rr.Subject, rr.Fuzzer, rr.Run))
+	return campaign.WriteFileAtomic(cfg.FS, path, journal.ProvenanceCSV(corpus))
+}

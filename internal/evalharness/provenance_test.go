@@ -1,0 +1,49 @@
+package evalharness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteWritesProvenance: a durable suite drops one provenance CSV
+// per campaign next to its coverage curves, with the shared header and
+// one row per corpus entry.
+func TestSuiteWritesProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	dir := t.TempDir()
+	sr, err := RunSuite(durableCfg(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := os.ReadDir(filepath.Join(dir, provenanceDir))
+	if err != nil {
+		t.Fatalf("provenance dir: %v", err)
+	}
+	if len(names) != 4 { // 1 subject x 2 fuzzers x 2 runs
+		t.Fatalf("want 4 provenance files, got %d", len(names))
+	}
+
+	cfg := durableCfg(dir, nil)
+	for _, f := range cfg.Fuzzers {
+		for run := 0; run < cfg.Runs; run++ {
+			path := filepath.Join(dir, provenanceDir, provenanceFileName("flvmeta", f, run))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing provenance for %s run %d: %v", f, run, err)
+			}
+			lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+			if lines[0] != "worker,id,parent,stage,depth,steps,found_at,len,cov,first_cells" {
+				t.Fatalf("%s: header %q", path, lines[0])
+			}
+			rr := sr.Runs("flvmeta", f)[run]
+			if want := len(rr.Report.Corpus); len(lines)-1 != want {
+				t.Errorf("%s: %d rows for %d corpus entries", path, len(lines)-1, want)
+			}
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cfg"
 	"repro/internal/fuzz"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -89,6 +90,17 @@ type Options struct {
 	// Telemetry, when non-nil, receives per-worker snapshots
 	// (PublishWorker) and fleet aggregates (Publish).
 	Telemetry *telemetry.Recorder
+	// Journal, when non-nil, is the supervisor-owned event journal every
+	// worker shares (fuzz.Options.JournalShared): worker events carry
+	// their worker id, supervision events (sync, recycle, retire, wedge,
+	// quarantine) interleave under the writer's own lock, and worker
+	// restores never truncate the shared stream.
+	Journal *journal.Writer
+	// Status, when non-nil, receives a wall-clock fleet status line
+	// (aggregate execs, exec rate, novelty, crashes, worker liveness)
+	// every StatusEvery (default 1s). Observation only.
+	Status      io.Writer
+	StatusEvery time.Duration
 	// StopAfter, when positive, interrupts the fleet once any worker's
 	// exec counter reaches it — the reproducible mid-run (and, chosen
 	// near a sync boundary, mid-sync) interruption the resume tests use.
@@ -129,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FS == nil {
 		o.FS = campaign.OSFS{}
+	}
+	if o.StatusEvery <= 0 {
+		o.StatusEvery = time.Second
 	}
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
@@ -270,7 +285,21 @@ func (s *Supervisor) workerOpts(i int) fuzz.Options {
 	o.Status = nil
 	o.Telemetry = nil
 	o.KeepCrashInputs = true
+	// All workers append to the one supervisor-owned journal; the shared
+	// flag stops a worker restore from truncating its peers' events.
+	// JournalWorker is set even without a writer — it also stamps corpus
+	// provenance (Report.Corpus).
+	o.Journal = s.opts.Journal
+	o.JournalShared = true
+	o.JournalWorker = i
 	return o
+}
+
+// emit writes one supervisor-level journal event (nil-safe). The
+// writer assigns the sequence number under its own lock, so supervisor
+// and worker events interleave without extra coordination.
+func (s *Supervisor) emit(ev journal.Event) {
+	s.opts.Journal.Emit(ev)
 }
 
 // Start begins a fresh fleet campaign: every worker executes the seed
@@ -371,11 +400,13 @@ func (s *Supervisor) Run() (*Result, error) {
 		return nil, fmt.Errorf("fleet: Run before Start/Attach")
 	}
 	s.startWatchdog()
+	stopStatus := s.startStatus()
 	for _, w := range s.workers {
 		s.wg.Add(1)
 		go s.manage(w)
 	}
 	s.wg.Wait()
+	stopStatus()
 	s.stopWatchdog()
 
 	s.mu.Lock()
@@ -430,6 +461,80 @@ func (s *Supervisor) Run() (*Result, error) {
 	res.Merged = merged
 	s.publishAggregateLocked()
 	return res, nil
+}
+
+// startStatus launches the wall-clock status-line printer and returns
+// its stop function (a no-op when no Status writer is configured). Each
+// tick prints the fleet aggregate — total execs, exec rate over the
+// tick, novelty (queue adds), queue depth, crash counters — plus worker
+// liveness. Observation only: it reads telemetry snapshots and
+// heartbeat counters, never campaign state.
+func (s *Supervisor) startStatus() func() {
+	if s.opts.Status == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.opts.StatusEvery)
+		defer t.Stop()
+		start := time.Now()
+		var lastExecs int64
+		lastTick := start
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				c := s.statusCounters()
+				dt := now.Sub(lastTick).Seconds()
+				var rate float64
+				if dt > 0 {
+					rate = float64(c.Execs-lastExecs) / dt
+				}
+				lastExecs, lastTick = c.Execs, now
+				live, total := s.liveWorkers()
+				fmt.Fprintf(s.opts.Status,
+					"fleet %s | execs %d (%.0f/s) | new %d | queue %d | crashes %d | bugs %d | workers %d/%d\n",
+					now.Sub(start).Truncate(time.Second), c.Execs, rate,
+					c.Added, c.QueueLen, c.UniqueCrashes, c.UniqueBugs, live, total)
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// statusCounters returns the freshest fleet aggregate available: summed
+// telemetry worker snapshots when a recorder is attached, else just the
+// heartbeat exec counters (the other fields read zero).
+func (s *Supervisor) statusCounters() telemetry.Counters {
+	if rec := s.opts.Telemetry; rec != nil {
+		if c := rec.AggregateWorkers(); c.Execs > 0 {
+			return c
+		}
+	}
+	var c telemetry.Counters
+	s.mu.Lock()
+	for _, w := range s.workers {
+		c.Execs += w.beatExecs.Load()
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// liveWorkers counts workers still participating (not done, retired, or
+// stopped).
+func (s *Supervisor) liveWorkers() (live, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.workers {
+		switch w.state {
+		case stIdle, stRunning, stBackoff:
+			live++
+		}
+	}
+	return live, len(s.workers)
 }
 
 // harvest restores a retired worker's last checkpoint and reports its
@@ -586,6 +691,10 @@ func (s *Supervisor) manage(w *worker) {
 				s.logf("fleet: manifest after worker %d retired: %v", w.id, err)
 			}
 			s.logf("fleet: worker %d retired after %d consecutive failures", w.id, w.fails)
+			s.emit(journal.Event{
+				Kind: journal.KindRetire, Worker: w.id, Gen: w.gen,
+				Execs: res.execs, Msg: fmt.Sprintf("retired after %d consecutive failures", w.fails),
+			})
 			s.mu.Unlock()
 			return
 		}
@@ -593,6 +702,10 @@ func (s *Supervisor) manage(w *worker) {
 		if err := s.persistManifestLocked(); err != nil {
 			s.logf("fleet: manifest after worker %d failure: %v", w.id, err)
 		}
+		s.emit(journal.Event{
+			Kind: journal.KindRecycle, Worker: w.id, Gen: w.gen,
+			Execs: res.execs, Msg: fmt.Sprintf("restart %d/%d", w.fails, s.opts.MaxRestarts),
+		})
 		delay := s.backoff(w.id, w.fails)
 		s.mu.Unlock()
 		s.logf("fleet: worker %d restarting from last checkpoint in %v (failure %d/%d)",
@@ -654,7 +767,9 @@ func (s *Supervisor) attempt(w *worker, gen int, out chan<- attemptResult) {
 		StopAfter: s.opts.StopAfter,
 		Boundary:  func(f *fuzz.Fuzzer) bool { return s.boundary(w, gen, st, f) },
 	})
-	if err := r.Attach(s.prog, s.workerOpts(w.id), ck); err != nil {
+	wopts := s.workerOpts(w.id)
+	wopts.JournalGen = gen // journal events name the attempt that emitted them
+	if err := r.Attach(s.prog, wopts, ck); err != nil {
 		res.err = err
 		return
 	}
@@ -705,7 +820,9 @@ func (s *Supervisor) pubIndexFor(workerID, lastSynced int) int {
 }
 
 // addPoisonLocked quarantines one poison-input finding, deduplicated by
-// (worker, message, input).
+// (worker, message, input). A fresh quarantine is journaled and gets the
+// worker's flight-recorder ring dumped — the events leading up to the
+// kill are the forensic record of what the worker was doing.
 func (s *Supervisor) addPoisonLocked(p fuzz.PoisonRec) {
 	for i := range s.quar {
 		if s.quar[i].Worker == p.Worker && s.quar[i].Msg == p.Msg && bytesEqual(s.quar[i].Input, p.Input) {
@@ -714,6 +831,11 @@ func (s *Supervisor) addPoisonLocked(p fuzz.PoisonRec) {
 		}
 	}
 	s.quar = append(s.quar, p)
+	s.emit(journal.Event{
+		Kind: journal.KindQuarantine, Worker: p.Worker, Gen: p.Gen,
+		Execs: p.Execs, Msg: p.Msg, Len: len(p.Input),
+	})
+	s.opts.Journal.DumpFlight(fmt.Sprintf("poison-w%d-%s", p.Worker, journal.SanitizeName(p.Msg)), p.Worker)
 }
 
 func bytesEqual(a, b []byte) bool {

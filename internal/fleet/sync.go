@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fuzz"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -163,6 +164,11 @@ func (s *Supervisor) syncPoint(w *worker, gen int, st *syncState, f *fuzz.Fuzzer
 		st.pubIndex = f.QueueLen()
 		pub.QLen = st.pubIndex
 		err := s.persistManifestLocked()
+		s.emit(journal.Event{
+			Kind: journal.KindSync, Worker: w.id, Gen: gen,
+			Execs: f.Execs(), Epoch: e,
+			Published: len(pub.Inputs), Imported: len(imports),
+		})
 		s.mu.Unlock()
 		if err != nil {
 			s.logf("fleet: manifest after worker %d sync %d: %v", w.id, e, err)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fuzz"
+	"repro/internal/journal"
 )
 
 // startWatchdog launches the heartbeat scanner (no-op when the
@@ -77,6 +78,11 @@ func (s *Supervisor) declareWedgedLocked(w *worker) {
 	if p := w.curInput.Load(); p != nil {
 		input = append([]byte(nil), *p...)
 	}
+	s.emit(journal.Event{
+		Kind: journal.KindWedge, Worker: w.id, Gen: w.gen,
+		Execs: w.beatExecs.Load(),
+		Msg:   fmt.Sprintf("no boundary heartbeat for %v", s.opts.Watchdog),
+	})
 	s.addPoisonLocked(fuzz.PoisonRec{
 		Worker: w.id,
 		Gen:    w.gen,

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/coverage"
 	"repro/internal/instrument"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
@@ -165,6 +166,22 @@ type Options struct {
 	// inside the exec loop) and is strictly observational: attaching a
 	// recorder cannot change what the campaign does.
 	Telemetry *telemetry.Recorder
+	// Journal, when non-nil, receives structured campaign lifecycle
+	// events (seed calibration, novelty, crashes, cycles, CGT replans).
+	// Like Telemetry it is strictly observational: the emitted-event
+	// counter advances whether or not a writer is attached, so
+	// checkpoints — and therefore campaigns — are byte-identical with
+	// journaling on or off.
+	Journal *journal.Writer
+	// JournalWorker and JournalGen tag emitted events with the fleet
+	// worker id and attempt generation (both 0 for single campaigns).
+	JournalWorker int
+	JournalGen    int
+	// JournalShared marks Journal as shared across fleet workers:
+	// Restore then skips the resume tail-truncation (the supervisor
+	// owns the stream; a worker restore must not rewrite other
+	// workers' events).
+	JournalShared bool
 }
 
 // Validate rejects misconfigured options before defaulting can mask
@@ -248,6 +265,17 @@ type Entry struct {
 	WasFuzzed bool
 	// IsSeed marks initial corpus entries.
 	IsSeed bool
+	// Parent is the queue index of the entry the discovering mutation
+	// started from (-1 for initial seeds) — the genealogy edge.
+	Parent int
+	// Stage is the mutation stage that produced the entry (the stage*
+	// constants).
+	Stage uint8
+	// FirstCells lists the coverage-map cells this entry was first to
+	// touch: the indices updateTopRated found without an incumbent
+	// champion. Provenance is always recorded (not gated on the
+	// journal), so reports are identical with journaling on or off.
+	FirstCells []uint32
 }
 
 // CrashRec aggregates the crashes sharing one stack hash.
@@ -305,6 +333,22 @@ const (
 	stageSplice
 	stageCmplog
 )
+
+// stageName names a stage constant for provenance records and journal
+// events.
+func stageName(s uint8) string {
+	switch s {
+	case stageSeed:
+		return "seed"
+	case stageHavoc:
+		return "havoc"
+	case stageSplice:
+		return "splice"
+	case stageCmplog:
+		return "cmplog"
+	}
+	return "?"
+}
 
 // InternalFault is one quarantined harness failure: a panic during
 // vm.Run recovered by the fuzz loop instead of killing the campaign.
@@ -415,6 +459,14 @@ type Fuzzer struct {
 	// snapshots nobody reads.
 	tel         *telemetry.Recorder
 	nextPublish int64
+
+	// jrnl, when non-nil, receives structured lifecycle events; events
+	// counts how many this campaign has emitted. The counter advances
+	// even with no writer attached — it is checkpointed (so resume can
+	// truncate the journal back to the checkpoint's event) and must not
+	// depend on whether journaling happens to be on.
+	jrnl   *journal.Writer
+	events uint64
 }
 
 // New constructs a fuzzer for prog.
@@ -488,6 +540,7 @@ func New(prog *cfg.Program, opts Options) (*Fuzzer, error) {
 		bugs:        make(map[string]*CrashRec),
 		dictSeen:    make(map[string]bool),
 		tel:         opts.Telemetry,
+		jrnl:        opts.Journal,
 		guide:       guide,
 	}
 	if guide != nil {
@@ -659,6 +712,10 @@ func (f *Fuzzer) recordFault(data []byte, msg string) {
 		FoundAt: f.stats.Execs,
 		Count:   1,
 	})
+	f.emit(journal.Event{Kind: journal.KindFault, Stage: stageName(f.curStage), Msg: msg, Len: len(data)})
+	if f.jrnl != nil {
+		f.jrnl.DumpFlight("fault-"+journal.SanitizeName(msg), f.opts.JournalWorker)
+	}
 }
 
 // execute runs one input and folds novelty into the virgin map.
@@ -697,6 +754,13 @@ func (f *Fuzzer) execute(data []byte) execOutcome {
 	switch res.Status {
 	case vm.StatusTimeout:
 		f.stats.Timeouts++
+		if nov != coverage.NoNew {
+			// A timeout that still produced map novelty is the rare
+			// forensically interesting one (hangs usually re-cover known
+			// cells); plain timeouts are counted, not journaled, so the
+			// event volume stays bounded by the map.
+			f.emit(journal.Event{Kind: journal.KindTimeout, Stage: stageName(f.curStage), Steps: res.Steps, Len: len(data)})
+		}
 	case vm.StatusCrash:
 		f.stats.CrashExecs++
 		if f.crashVirgin.MergeSparse(f.cov) != coverage.NoNew {
@@ -709,9 +773,11 @@ func (f *Fuzzer) execute(data []byte) execOutcome {
 
 func (f *Fuzzer) recordCrash(data []byte, c *vm.Crash) {
 	h := c.StackHash(5)
+	newHash := false
 	if rec, ok := f.crashes[h]; ok {
 		rec.Count++
 	} else {
+		newHash = true
 		rec := &CrashRec{Crash: c, Count: 1, FoundAt: f.stats.Execs}
 		if f.opts.KeepCrashInputs {
 			rec.Input = append([]byte(nil), data...)
@@ -719,14 +785,32 @@ func (f *Fuzzer) recordCrash(data []byte, c *vm.Crash) {
 		f.crashes[h] = rec
 	}
 	key := c.BugKey()
+	newBug := false
 	if rec, ok := f.bugs[key]; ok {
 		rec.Count++
 	} else {
+		newBug = true
 		rec := &CrashRec{Crash: c, Count: 1, FoundAt: f.stats.Execs}
 		if f.opts.KeepCrashInputs {
 			rec.Input = append([]byte(nil), data...)
 		}
 		f.bugs[key] = rec
+	}
+	if newHash || newBug {
+		// Only first discoveries become events (re-crashes bump the
+		// dedup counters silently), and each new bug ships with a
+		// flight-recorder dump: the last-N-events context written next
+		// to the crash input the findings directory keeps.
+		f.emit(journal.Event{
+			Kind:  journal.KindCrash,
+			Stage: stageName(f.curStage),
+			Hash:  crashHashName(h),
+			Bug:   key,
+			Len:   len(data),
+		})
+		if newBug && f.jrnl != nil {
+			f.jrnl.DumpFlight("crash-"+journal.SanitizeName(key), f.opts.JournalWorker)
+		}
 	}
 }
 
@@ -743,23 +827,33 @@ func (f *Fuzzer) AddSeed(data []byte) {
 	}
 	f.curStage = stageSeed
 	out := f.execute(data)
-	if out.res.Status == vm.StatusCrash {
+	// Calibration outcome is journaled whether or not the seed is
+	// admitted (crashing and redundant seeds are forensic signal too).
+	admitted := out.res.Status != vm.StatusCrash &&
+		(out.novelty != coverage.NoNew || len(f.queue) == 0)
+	f.emit(journal.Event{
+		Kind:     journal.KindCalibrate,
+		Stage:    stageName(stageSeed),
+		Len:      len(data),
+		Steps:    out.res.Steps,
+		Status:   out.res.Status.String(),
+		Admitted: admitted,
+	})
+	if !admitted {
 		// The paper's opportunistic method strips crashing seeds; in
-		// general a crashing seed is recorded but not queued.
-		return
-	}
-	if out.novelty == coverage.NoNew && len(f.queue) > 0 {
+		// general a crashing or redundant seed is recorded but not
+		// queued.
 		return
 	}
 	cov := out.cov
 	if cov == nil {
 		cov = f.cov.Indices()
 	}
-	f.enqueue(data, cov, out.res.Steps, 0, true)
+	f.enqueue(data, cov, out.res.Steps, 0, -1, true)
 	f.cmplogStage(f.queue[len(f.queue)-1], out.res.Cmps)
 }
 
-func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSeed bool) *Entry {
+func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth, parent int, isSeed bool) *Entry {
 	e := &Entry{
 		ID:       len(f.queue),
 		Data:     append([]byte(nil), data...),
@@ -769,6 +863,8 @@ func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSe
 		FoundAt:  f.stats.Execs,
 		Handicap: f.stats.Cycles,
 		IsSeed:   isSeed,
+		Parent:   parent,
+		Stage:    f.curStage,
 	}
 	f.queue = append(f.queue, e)
 	f.stats.Added++
@@ -779,6 +875,17 @@ func (f *Fuzzer) enqueue(data []byte, cov []uint32, steps int64, depth int, isSe
 	}
 	f.updateTopRated(e)
 	f.noteCov(e)
+	f.emit(journal.Event{
+		Kind:   journal.KindNovelty,
+		Stage:  stageName(e.Stage),
+		Entry:  journal.Int(e.ID),
+		Parent: journal.Int(e.Parent),
+		Depth:  e.Depth,
+		Steps:  e.Steps,
+		Len:    len(e.Data),
+		Cov:    len(e.Cov),
+		Cells:  e.FirstCells,
+	})
 	return e
 }
 
@@ -791,7 +898,14 @@ func (f *Fuzzer) updateTopRated(e *Entry) {
 	score := e.Steps * int64(len(e.Data)+1)
 	for _, idx := range e.Cov {
 		cur, ok := f.topRated[idx]
-		if !ok || score < cur.Steps*int64(len(cur.Data)+1) {
+		if !ok {
+			// No incumbent champion: this entry is the first to touch
+			// the cell — its discovery provenance. Recomputed the same
+			// way on restore (entries replay in queue order), so the
+			// sets are identical live and resumed.
+			e.FirstCells = append(e.FirstCells, idx)
+			f.topRated[idx] = e
+		} else if score < cur.Steps*int64(len(cur.Data)+1) {
 			f.topRated[idx] = e
 		}
 	}
@@ -977,12 +1091,13 @@ func reachWeights(prog *cfg.Program, fb instrument.Feedback, mapSize int) ([]int
 	return w, maxW
 }
 
-// processNew enqueues a novel input produced during fuzzing.
-func (f *Fuzzer) processNew(data []byte, out execOutcome, depth int) {
+// processNew enqueues a novel input produced during fuzzing; parent is
+// the queue entry the mutation started from.
+func (f *Fuzzer) processNew(data []byte, out execOutcome, depth, parent int) {
 	if out.novelty == coverage.NoNew || out.res.Status != vm.StatusOK {
 		return
 	}
-	e := f.enqueue(data, out.cov, out.res.Steps, depth, false)
+	e := f.enqueue(data, out.cov, out.res.Steps, depth, parent, false)
 	f.cmplogStage(e, out.res.Cmps)
 }
 
@@ -1004,7 +1119,7 @@ func (f *Fuzzer) Fuzz(budget int64) {
 		if len(f.queue) == 0 {
 			// Even the fallback seed crashed; queue it blind so
 			// mutation has a starting point.
-			f.enqueue([]byte("seed"), nil, 1, 0, true)
+			f.enqueue([]byte("seed"), nil, 1, 0, -1, true)
 		}
 	}
 	if f.samplingRestored {
@@ -1021,6 +1136,14 @@ func (f *Fuzzer) Fuzz(budget int64) {
 	for f.stats.Execs < budget {
 		if !f.midCycle {
 			f.cullFavored()
+			f.emit(journal.Event{
+				Kind:    journal.KindCycle,
+				Cycle:   f.stats.Cycles,
+				Queue:   len(f.queue),
+				Cov:     len(f.topRated),
+				Crashes: len(f.crashes),
+				Bugs:    len(f.bugs),
+			})
 			// Cycle starts are the CGT engine's replan boundary: the
 			// probe-elision plan is recomputed from the virgin map
 			// here and nowhere else inside the loop, so the plan is a
@@ -1028,6 +1151,17 @@ func (f *Fuzzer) Fuzz(budget int64) {
 			// Guided campaigns refresh their frontier weights at the
 			// same boundary, for the same determinism property.
 			f.replanCGT()
+			if f.cgt != nil {
+				// Emitted here, not inside replanCGT: Restore replans
+				// too, and a restore must not add events an
+				// uninterrupted campaign would not have.
+				f.emit(journal.Event{
+					Kind:   journal.KindReplan,
+					Cycle:  f.stats.Cycles,
+					Elided: f.cgt.elided,
+					Sites:  f.cgt.patch.NumSites(),
+				})
+			}
 			f.updateGuide()
 			f.qi, f.qlen = 0, len(f.queue)
 			f.midCycle = true
@@ -1065,6 +1199,23 @@ func (f *Fuzzer) Fuzz(budget int64) {
 	}
 	f.sample()
 	f.publishTelemetry()
+	// The finish event closes a completed budget; interrupted runs
+	// (checkpoint hook returning false) return inside the loop without
+	// one, and emit it when the resumed campaign completes — so an
+	// uninterrupted and a resumed journal end identically. Its Execs
+	// is the authoritative exec count the stats audit cross-checks
+	// against fuzzer_stats.
+	f.emit(journal.Event{
+		Kind:    journal.KindFinish,
+		Cycle:   f.stats.Cycles,
+		Queue:   len(f.queue),
+		Cov:     len(f.topRated),
+		Crashes: len(f.crashes),
+		Bugs:    len(f.bugs),
+	})
+	if f.jrnl != nil {
+		f.jrnl.Flush()
+	}
 }
 
 // maybeStatus emits the periodic status line: engine, execution count,
@@ -1226,7 +1377,7 @@ func (f *Fuzzer) fuzzOne(e *Entry, budget int64) {
 			f.curStage = stageHavoc
 		}
 		out := f.execute(cand)
-		f.processNew(cand, out, e.Depth+1)
+		f.processNew(cand, out, e.Depth+1, e.ID)
 	}
 }
 
@@ -1288,7 +1439,7 @@ func (f *Fuzzer) tryResize(e *Entry, n int) {
 		data[i] = byte(f.rng.Intn(256))
 	}
 	out := f.execute(data)
-	f.processNew(data, out, e.Depth+1)
+	f.processNew(data, out, e.Depth+1, e.ID)
 }
 
 // scratchBuf returns the pooled cmplog candidate buffer resized to n;
@@ -1331,7 +1482,7 @@ func (f *Fuzzer) trySubstitute(e *Entry, find, repl int64, allow int) int {
 				copy(data, e.Data)
 				copy(data[p:], re)
 				out := f.execute(data)
-				f.processNew(data, out, e.Depth+1)
+				f.processNew(data, out, e.Depth+1, e.ID)
 				spent++
 			}
 		}

@@ -3,6 +3,8 @@ package fuzz
 import (
 	"bytes"
 	"sort"
+
+	"repro/internal/journal"
 )
 
 // PoisonRec is one quarantined poison-input finding: an input whose
@@ -57,6 +59,12 @@ type Report struct {
 	// kills; empty for single-fuzzer campaigns). Canonically sorted by
 	// (Worker, Execs, Msg).
 	Poison []PoisonRec
+	// Corpus lists per-entry provenance (parent lineage, discovery
+	// stage, exec index, first-discovered cells) in queue order —
+	// always recorded, never gated on journaling, so reports are
+	// identical with a journal attached or not. Fleet merges stamp
+	// each record's Worker and concatenate in worker order.
+	Corpus []journal.CorpusMeta
 }
 
 // Report snapshots the campaign state.
@@ -71,6 +79,7 @@ func (f *Fuzzer) Report() *Report {
 		History:    append([]HistPoint(nil), f.history...),
 		MapCount:   len(f.topRated),
 		Faults:     append([]InternalFault(nil), f.faults...),
+		Corpus:     f.CorpusProvenance(),
 	}
 	for _, rec := range f.crashes {
 		r.Crashes = append(r.Crashes, rec)
@@ -172,6 +181,11 @@ func MergeReports(reports ...*Report) *Report {
 				out.Poison = append(out.Poison, pr)
 			}
 		}
+		// Provenance concatenates in input order; fleet callers pass
+		// worker reports in worker-id order with Worker stamped, so the
+		// merged corpus is canonically (worker, id)-ordered and the
+		// merge is deterministic.
+		out.Corpus = append(out.Corpus, r.Corpus...)
 	}
 	// Poison findings sort canonically so fleet-mode evaluation output
 	// (eval_output.txt regeneration) is deterministic regardless of the

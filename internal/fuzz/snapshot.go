@@ -70,6 +70,17 @@ type SnapEntry struct {
 	Favored   bool
 	WasFuzzed bool
 	IsSeed    bool
+	// Provenance: the parent entry index (-1 for seeds), the mutation
+	// stage that produced the entry, and the map cells it discovered
+	// first. Old checkpoints gob-decode Parent as 0 and Stage/FirstCells
+	// as zero values; restore treats Parent 0 on a seed entry as
+	// pre-provenance data and rewrites it to -1. FirstCells is persisted
+	// for checkpoint readers (paprof -genealogy works from the sealed
+	// file alone) but recomputed on restore, where replaying the queue
+	// rebuilds the identical sets.
+	Parent     int
+	Stage      uint8
+	FirstCells []uint32
 }
 
 // SnapCrash is the serialized form of one crash-dedup record. Hash
@@ -107,6 +118,14 @@ type Snapshot struct {
 	CycleLen       int
 	SampleEvery    int64
 	NextSample     int64
+
+	// JournalSeq is the campaign's emitted-event count at snapshot
+	// time. The counter advances whether or not a journal writer is
+	// attached, so this field is identical with journaling on or off;
+	// on restore it tells the journal where to truncate so the resumed
+	// replay re-emits a byte-identical tail. Old checkpoints decode it
+	// as 0 (the journal then restarts its numbering, still gapless).
+	JournalSeq uint64
 }
 
 // Snapshot captures the campaign state. It must be called at a safe
@@ -128,19 +147,29 @@ func (f *Fuzzer) Snapshot() *Snapshot {
 		CycleLen:       f.qlen,
 		SampleEvery:    f.sampleEvery,
 		NextSample:     f.nextSample,
+		JournalSeq:     f.events,
 	}
 	for i, e := range f.queue {
 		s.Entries[i] = SnapEntry{
-			Data:      e.Data,
-			Cov:       e.Cov,
-			Steps:     e.Steps,
-			Depth:     e.Depth,
-			FoundAt:   e.FoundAt,
-			Handicap:  e.Handicap,
-			Favored:   e.Favored,
-			WasFuzzed: e.WasFuzzed,
-			IsSeed:    e.IsSeed,
+			Data:       e.Data,
+			Cov:        e.Cov,
+			Steps:      e.Steps,
+			Depth:      e.Depth,
+			FoundAt:    e.FoundAt,
+			Handicap:   e.Handicap,
+			Favored:    e.Favored,
+			WasFuzzed:  e.WasFuzzed,
+			IsSeed:     e.IsSeed,
+			Parent:     e.Parent,
+			Stage:      e.Stage,
+			FirstCells: e.FirstCells,
 		}
+	}
+	// A checkpoint claims everything up to JournalSeq is settled; flush
+	// so the on-disk journal is at least that current before the
+	// checkpoint that references it lands.
+	if f.jrnl != nil {
+		f.jrnl.Flush()
 	}
 	for h, rec := range f.crashes {
 		s.Crashes = append(s.Crashes, SnapCrash{Hash: h, Crash: rec.Crash, Input: rec.Input, Count: rec.Count, FoundAt: rec.FoundAt})
@@ -194,6 +223,12 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 				return fmt.Errorf("fuzz: snapshot entry %d covers index %d outside map of size %d", i, idx, mapSize)
 			}
 		}
+		parent := se.Parent
+		if se.IsSeed && parent == 0 {
+			// Pre-provenance checkpoints gob-decode Parent as 0; a seed
+			// entry's parent is by definition -1.
+			parent = -1
+		}
 		e := &Entry{
 			ID:        i,
 			Data:      append([]byte(nil), se.Data...),
@@ -205,6 +240,10 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 			Favored:   se.Favored,
 			WasFuzzed: se.WasFuzzed,
 			IsSeed:    se.IsSeed,
+			Parent:    parent,
+			Stage:     se.Stage,
+			// FirstCells deliberately not copied: updateTopRated below
+			// recomputes the identical discovery sets from queue order.
 		}
 		f.queue = append(f.queue, e)
 		f.sumSteps += e.Steps
@@ -263,6 +302,17 @@ func (f *Fuzzer) restore(snap *Snapshot) error {
 	f.samplingRestored = snap.SampleEvery > 0
 
 	f.rngSrc.skipTo(snap.RNGDraws)
+	// Journal resume: restore the emitted-event counter and truncate
+	// the journal back to it, so the replayed executions re-emit an
+	// identical tail (gapless, byte-for-byte). A fleet-shared journal
+	// is never truncated — the supervisor owns the stream and other
+	// workers' events must survive this worker's restore.
+	f.events = snap.JournalSeq
+	if f.jrnl != nil && !f.opts.JournalShared {
+		if err := f.jrnl.TruncateTo(f.events); err != nil {
+			return fmt.Errorf("fuzz: truncating journal to seq %d: %w", f.events, err)
+		}
+	}
 	// The CGT patch plan is not checkpointed: it is a pure function of
 	// the virgin map, so a restored campaign replans from the restored
 	// virgin state (the same boundary-determinism rule as cycle starts).

@@ -1,0 +1,370 @@
+package journal
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CorpusMeta is the provenance record of one corpus entry: who spawned
+// it, which mutation stage produced it, when, and which coverage-map
+// cells it discovered first. The fuzz package attaches a []CorpusMeta
+// to every Report; the fleet merge concatenates them in (worker, id)
+// order, so the merged view is deterministic.
+type CorpusMeta struct {
+	// Worker is the fleet worker id that found the entry (0 for single
+	// campaigns; assigned by the fleet merge).
+	Worker int `json:"worker"`
+	// ID is the entry's queue index within its worker.
+	ID int `json:"id"`
+	// Parent is the queue index of the entry the mutation started from
+	// (-1 for initial seeds).
+	Parent int `json:"parent"`
+	// Stage is the discovering mutation stage (seed|havoc|splice|cmplog).
+	Stage string `json:"stage"`
+	// Depth is the mutation-chain length from the seed corpus.
+	Depth int `json:"depth"`
+	// Steps is the entry's execution cost.
+	Steps int64 `json:"steps"`
+	// FoundAt is the campaign execution counter at admission.
+	FoundAt int64 `json:"found_at"`
+	// Len is the input length in bytes.
+	Len int `json:"len"`
+	// CovCount is the entry's sparse coverage size.
+	CovCount int `json:"cov"`
+	// FirstCells lists the map cells (edge ids / path ids, per the
+	// campaign's feedback) this entry was first to touch.
+	FirstCells []uint32 `json:"first_cells,omitempty"`
+}
+
+// Genealogy renders the corpus ancestry DAG as an indented text tree,
+// one worker at a time: roots are seeds (parent -1), children sit
+// under the entry whose mutation produced them.
+func Genealogy(w io.Writer, corpus []CorpusMeta) {
+	byWorker := splitWorkers(corpus)
+	for _, wid := range workerIDs(byWorker) {
+		entries := byWorker[wid]
+		if len(byWorker) > 1 {
+			fmt.Fprintf(w, "worker %d:\n", wid)
+		}
+		children := make(map[int][]int)
+		var roots []int
+		for i, m := range entries {
+			if m.Parent < 0 {
+				roots = append(roots, i)
+			} else {
+				children[m.Parent] = append(children[m.Parent], i)
+			}
+		}
+		var walk func(i, depth int)
+		seen := make(map[int]bool)
+		walk = func(i, depth int) {
+			if seen[i] {
+				return
+			}
+			seen[i] = true
+			m := entries[i]
+			fmt.Fprintf(w, "%s#%-4d %-6s found@%-8d depth=%-2d cov=%-3d first=%-3d len=%d\n",
+				strings.Repeat("  ", depth), m.ID, m.Stage, m.FoundAt, m.Depth, m.CovCount, len(m.FirstCells), m.Len)
+			for _, c := range children[m.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 0)
+		}
+		// Orphans (parent beyond the recorded corpus, e.g. a checkpoint
+		// predating provenance) still print, flat.
+		for i := range entries {
+			walk(i, 0)
+		}
+	}
+}
+
+// splitWorkers groups corpus records by worker, each group sorted by
+// entry id.
+func splitWorkers(corpus []CorpusMeta) map[int][]CorpusMeta {
+	out := make(map[int][]CorpusMeta)
+	for _, m := range corpus {
+		out[m.Worker] = append(out[m.Worker], m)
+	}
+	for wid := range out {
+		g := out[wid]
+		sort.Slice(g, func(i, j int) bool { return g[i].ID < g[j].ID })
+	}
+	return out
+}
+
+func workerIDs(m map[int][]CorpusMeta) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// stageOrder fixes the attribution table's row order.
+var stageOrder = []string{"seed", "havoc", "splice", "cmplog"}
+
+// stageRow is one line of the discovery-attribution table.
+type stageRow struct {
+	Stage      string
+	Entries    int
+	FirstCells int
+}
+
+// AttributionRows aggregates per-stage discovery attribution: how many
+// corpus entries each mutation stage produced, and how many coverage
+// cells those entries were first to discover.
+func AttributionRows(corpus []CorpusMeta) []stageRow {
+	agg := make(map[string]*stageRow)
+	for _, m := range corpus {
+		r := agg[m.Stage]
+		if r == nil {
+			r = &stageRow{Stage: m.Stage}
+			agg[m.Stage] = r
+		}
+		r.Entries++
+		r.FirstCells += len(m.FirstCells)
+	}
+	var rows []stageRow
+	for _, s := range stageOrder {
+		if r, ok := agg[s]; ok {
+			rows = append(rows, *r)
+			delete(agg, s)
+		}
+	}
+	var rest []string
+	for s := range agg {
+		rest = append(rest, s)
+	}
+	sort.Strings(rest)
+	for _, s := range rest {
+		rows = append(rows, *agg[s])
+	}
+	return rows
+}
+
+// Attribution renders the per-stage discovery-attribution table: which
+// stage found which share of the corpus and of first-discovered
+// coverage (the per-feedback attribution the paper's analysis needs —
+// cells are edge ids or path ids depending on the campaign feedback,
+// named in the caller-supplied label).
+func Attribution(w io.Writer, label string, corpus []CorpusMeta) {
+	rows := AttributionRows(corpus)
+	totalE, totalC := 0, 0
+	for _, r := range rows {
+		totalE += r.Entries
+		totalC += r.FirstCells
+	}
+	fmt.Fprintf(w, "discovery attribution (%s):\n", label)
+	fmt.Fprintf(w, "  %-8s %8s %8s %14s\n", "stage", "entries", "cells", "cell-share")
+	for _, r := range rows {
+		share := 0.0
+		if totalC > 0 {
+			share = 100 * float64(r.FirstCells) / float64(totalC)
+		}
+		fmt.Fprintf(w, "  %-8s %8d %8d %13.1f%%\n", r.Stage, r.Entries, r.FirstCells, share)
+	}
+	fmt.Fprintf(w, "  %-8s %8d %8d\n", "total", totalE, totalC)
+}
+
+// RarityBucket is one row of the path-rarity histogram: cells touched
+// by [Lo, Hi] corpus entries.
+type RarityBucket struct {
+	Lo, Hi int
+	Cells  int
+}
+
+// RarityBuckets computes the path-rarity histogram: for every covered
+// map cell, how many corpus entries touch it, bucketed by powers of
+// two. Cells in low buckets are rare paths — the coverage only a few
+// inputs reach, the frontier path-sensitive feedback is supposed to
+// protect.
+func RarityBuckets(corpus []CorpusMeta, cellCount func(m CorpusMeta) []uint32) []RarityBucket {
+	counts := make(map[uint32]int)
+	for _, m := range corpus {
+		for _, c := range cellCount(m) {
+			counts[c]++
+		}
+	}
+	var buckets []RarityBucket
+	for lo := 1; ; lo *= 2 {
+		hi := lo*2 - 1
+		b := RarityBucket{Lo: lo, Hi: hi}
+		for _, n := range counts {
+			if n >= lo && n <= hi {
+				b.Cells++
+			}
+		}
+		if b.Cells > 0 {
+			buckets = append(buckets, b)
+		}
+		over := 0
+		for _, n := range counts {
+			if n > hi {
+				over++
+			}
+		}
+		if over == 0 {
+			break
+		}
+	}
+	return buckets
+}
+
+// Rarity renders the path-rarity histogram over first-discovered cells.
+func Rarity(w io.Writer, corpus []CorpusMeta) {
+	// Rarity counts every entry that covers a cell; FirstCells only
+	// credits the discoverer, so rebuild per-cell touch counts from the
+	// recorded sparse coverage sizes we have: FirstCells is the
+	// discovery set, the per-entry Cov the magnitude. Without full
+	// per-entry coverage in the metadata the histogram uses the
+	// discovery sets, which bounds rarity from below.
+	buckets := RarityBuckets(corpus, func(m CorpusMeta) []uint32 { return m.FirstCells })
+	fmt.Fprintf(w, "path-rarity histogram (entries touching each first-discovered cell):\n")
+	if len(buckets) == 0 {
+		fmt.Fprintf(w, "  (no cell provenance recorded)\n")
+		return
+	}
+	max := 0
+	for _, b := range buckets {
+		if b.Cells > max {
+			max = b.Cells
+		}
+	}
+	for _, b := range buckets {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", 1+b.Cells*40/max)
+		}
+		rng := fmt.Sprintf("%d", b.Lo)
+		if b.Hi != b.Lo {
+			rng = fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+		}
+		fmt.Fprintf(w, "  %8s %6d %s\n", rng, b.Cells, bar)
+	}
+}
+
+// EventAttribution renders per-stage discovery counts straight from a
+// journal stream (novelty and crash events), for `paprof -journal`
+// where no checkpoint is at hand.
+func EventAttribution(w io.Writer, events []Event) {
+	type row struct{ novelty, cells, crashes int }
+	agg := make(map[string]*row)
+	get := func(stage string) *row {
+		if stage == "" {
+			stage = "?"
+		}
+		r := agg[stage]
+		if r == nil {
+			r = &row{}
+			agg[stage] = r
+		}
+		return r
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindNovelty:
+			r := get(ev.Stage)
+			r.novelty++
+			r.cells += len(ev.Cells)
+		case KindCrash:
+			get(ev.Stage).crashes++
+		}
+	}
+	fmt.Fprintf(w, "  %-8s %8s %8s %8s\n", "stage", "novelty", "cells", "crashes")
+	var stages []string
+	for _, s := range stageOrder {
+		if _, ok := agg[s]; ok {
+			stages = append(stages, s)
+		}
+	}
+	var rest []string
+	for s := range agg {
+		seen := false
+		for _, t := range stageOrder {
+			if s == t {
+				seen = true
+			}
+		}
+		if !seen {
+			rest = append(rest, s)
+		}
+	}
+	sort.Strings(rest)
+	stages = append(stages, rest...)
+	for _, s := range stages {
+		r := agg[s]
+		fmt.Fprintf(w, "  %-8s %8d %8d %8d\n", s, r.novelty, r.cells, r.crashes)
+	}
+}
+
+// ProvenanceCSV renders the corpus provenance as CSV — the per-run
+// summary evalharness drops next to its coverage-curve files.
+func ProvenanceCSV(corpus []CorpusMeta) []byte {
+	var b strings.Builder
+	b.WriteString("worker,id,parent,stage,depth,steps,found_at,len,cov,first_cells\n")
+	for _, m := range corpus {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%d,%d,%d,%d,%d,%d\n",
+			m.Worker, m.ID, m.Parent, m.Stage, m.Depth, m.Steps, m.FoundAt, m.Len, m.CovCount, len(m.FirstCells))
+	}
+	return []byte(b.String())
+}
+
+// HTMLReport renders the genealogy, attribution, and rarity views as a
+// self-contained HTML page (the telemetry dashboard's /genealogy).
+func HTMLReport(title, label string, corpus []CorpusMeta, events []Event) []byte {
+	var b strings.Builder
+	b.WriteString("<!doctype html><html><head><meta charset=\"utf-8\"><title>")
+	b.WriteString(html.EscapeString(title))
+	b.WriteString(`</title><style>
+body{font-family:monospace;background:#111;color:#ddd;margin:2em}
+h1,h2{color:#8cf} table{border-collapse:collapse;margin:1em 0}
+td,th{border:1px solid #444;padding:2px 10px;text-align:right}
+th{color:#8cf} td.l,th.l{text-align:left} pre{color:#bbb}
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>", html.EscapeString(title))
+
+	b.WriteString("<h2>discovery attribution</h2><table><tr><th class=l>stage</th><th>entries</th><th>first cells</th></tr>")
+	for _, r := range AttributionRows(corpus) {
+		fmt.Fprintf(&b, "<tr><td class=l>%s</td><td>%d</td><td>%d</td></tr>", html.EscapeString(r.Stage), r.Entries, r.FirstCells)
+	}
+	b.WriteString("</table>")
+
+	b.WriteString("<h2>path rarity</h2><pre>")
+	var rb strings.Builder
+	Rarity(&rb, corpus)
+	b.WriteString(html.EscapeString(rb.String()))
+	b.WriteString("</pre>")
+
+	b.WriteString("<h2>genealogy</h2><pre>")
+	var gb strings.Builder
+	Genealogy(&gb, corpus)
+	b.WriteString(html.EscapeString(gb.String()))
+	b.WriteString("</pre>")
+
+	if len(events) > 0 {
+		fmt.Fprintf(&b, "<h2>journal (%d events)</h2><table><tr><th class=l>kind</th><th>count</th></tr>", len(events))
+		counts := KindCounts(events)
+		var kinds []string
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "<tr><td class=l>%s</td><td>%d</td></tr>", html.EscapeString(k), counts[k])
+		}
+		b.WriteString("</table><h2>journal attribution</h2><pre>")
+		var eb strings.Builder
+		EventAttribution(&eb, events)
+		b.WriteString(html.EscapeString(eb.String()))
+		b.WriteString("</pre>")
+	}
+	fmt.Fprintf(&b, "<p>%s</p>", html.EscapeString(label))
+	b.WriteString("</body></html>")
+	return []byte(b.String())
+}

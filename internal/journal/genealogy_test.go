@@ -1,0 +1,147 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleCorpus is a two-worker corpus with a seed → havoc → splice
+// lineage on worker 0 and a lone seed on worker 1.
+func sampleCorpus() []CorpusMeta {
+	return []CorpusMeta{
+		{Worker: 0, ID: 0, Parent: -1, Stage: "seed", FoundAt: 0, Len: 4, CovCount: 3, FirstCells: []uint32{1, 2, 3}},
+		{Worker: 0, ID: 1, Parent: 0, Stage: "havoc", Depth: 1, FoundAt: 100, Len: 6, CovCount: 4, FirstCells: []uint32{4}},
+		{Worker: 0, ID: 2, Parent: 1, Stage: "splice", Depth: 2, FoundAt: 250, Len: 9, CovCount: 5, FirstCells: []uint32{5, 6}},
+		{Worker: 1, ID: 0, Parent: -1, Stage: "seed", FoundAt: 0, Len: 4, CovCount: 3, FirstCells: []uint32{1, 7}},
+	}
+}
+
+func TestGenealogyTree(t *testing.T) {
+	var b strings.Builder
+	Genealogy(&b, sampleCorpus())
+	out := b.String()
+	if !strings.Contains(out, "worker 0:") || !strings.Contains(out, "worker 1:") {
+		t.Fatalf("missing worker headers:\n%s", out)
+	}
+	// The splice entry is two mutations deep: indented under its havoc
+	// parent, which is indented under the seed root.
+	if !strings.Contains(out, "    #2    splice") {
+		t.Fatalf("splice entry not nested at depth 2:\n%s", out)
+	}
+	// Each entry prints exactly once despite the orphan sweep.
+	if n := strings.Count(out, "#2    splice"); n != 1 {
+		t.Fatalf("splice entry printed %d times:\n%s", n, out)
+	}
+}
+
+func TestAttributionRows(t *testing.T) {
+	rows := AttributionRows(sampleCorpus())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	// Row order follows stageOrder, not alphabetical.
+	if rows[0].Stage != "seed" || rows[1].Stage != "havoc" || rows[2].Stage != "splice" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+	if rows[0].Entries != 2 || rows[0].FirstCells != 5 {
+		t.Fatalf("seed row %+v, want 2 entries / 5 cells", rows[0])
+	}
+
+	var b strings.Builder
+	Attribution(&b, "flvmeta/path", sampleCorpus())
+	out := b.String()
+	if !strings.Contains(out, "discovery attribution (flvmeta/path):") {
+		t.Fatalf("missing label header:\n%s", out)
+	}
+	if !strings.Contains(out, "total") {
+		t.Fatalf("missing total row:\n%s", out)
+	}
+}
+
+func TestRarityBuckets(t *testing.T) {
+	// Cell 1 is touched by two entries (bucket 2-3); everything else by
+	// one (bucket 1).
+	buckets := RarityBuckets(sampleCorpus(), func(m CorpusMeta) []uint32 { return m.FirstCells })
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2: %+v", len(buckets), buckets)
+	}
+	if buckets[0].Lo != 1 || buckets[0].Cells != 6 {
+		t.Fatalf("singleton bucket %+v, want Lo=1 Cells=6", buckets[0])
+	}
+	if buckets[1].Lo != 2 || buckets[1].Cells != 1 {
+		t.Fatalf("shared bucket %+v, want Lo=2 Cells=1", buckets[1])
+	}
+
+	var b strings.Builder
+	Rarity(&b, nil)
+	if !strings.Contains(b.String(), "(no cell provenance recorded)") {
+		t.Fatalf("empty corpus rarity:\n%s", b.String())
+	}
+}
+
+func TestEventAttribution(t *testing.T) {
+	events := []Event{
+		{Kind: KindNovelty, Stage: "havoc", Cells: []uint32{1, 2}},
+		{Kind: KindNovelty, Stage: "havoc", Cells: []uint32{3}},
+		{Kind: KindNovelty, Stage: "splice"},
+		{Kind: KindCrash, Stage: "havoc"},
+		{Kind: KindCrash}, // stageless crash lands in the "?" row
+		{Kind: KindCycle}, // non-discovery kinds are ignored
+	}
+	var b strings.Builder
+	EventAttribution(&b, events)
+	out := b.String()
+	if !strings.Contains(out, "havoc") || !strings.Contains(out, "splice") || !strings.Contains(out, "?") {
+		t.Fatalf("missing stage rows:\n%s", out)
+	}
+	havocLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "havoc") {
+			havocLine = line
+		}
+	}
+	if fields := strings.Fields(havocLine); len(fields) != 4 ||
+		fields[1] != "2" || fields[2] != "3" || fields[3] != "1" {
+		t.Fatalf("havoc row %q, want novelty=2 cells=3 crashes=1", havocLine)
+	}
+}
+
+func TestProvenanceCSV(t *testing.T) {
+	data := ProvenanceCSV(sampleCorpus())
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if lines[0] != "worker,id,parent,stage,depth,steps,found_at,len,cov,first_cells" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d data rows, want 4", len(lines)-1)
+	}
+	if lines[1] != "0,0,-1,seed,0,0,0,4,3,3" {
+		t.Fatalf("first row %q", lines[1])
+	}
+	// Empty corpus still yields the header (evalharness marker files).
+	if got := string(ProvenanceCSV(nil)); got != lines[0]+"\n" {
+		t.Fatalf("empty-corpus CSV %q", got)
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	events := []Event{{Kind: KindNovelty, Stage: "havoc", Cells: []uint32{1}}}
+	page := string(HTMLReport("t<b>itle", "subj/fuzzer", sampleCorpus(), events))
+	if !strings.HasPrefix(page, "<!doctype html>") || !strings.HasSuffix(page, "</body></html>") {
+		t.Fatalf("page not well-formed:\n%.120s...", page)
+	}
+	// Title is escaped, never interpolated raw.
+	if strings.Contains(page, "t<b>itle") || !strings.Contains(page, "t&lt;b&gt;itle") {
+		t.Fatal("title not HTML-escaped")
+	}
+	for _, want := range []string{"discovery attribution", "path rarity", "genealogy", "journal (1 events)", "subj/fuzzer"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q", want)
+		}
+	}
+	// Without events the journal sections are omitted entirely.
+	bare := string(HTMLReport("t", "l", sampleCorpus(), nil))
+	if strings.Contains(bare, "journal (") {
+		t.Fatal("event sections rendered with no events")
+	}
+}

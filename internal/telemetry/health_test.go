@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// TestHealthzFreshAndStale walks the probe through its lifecycle: 503
+// before any publish, 200 while publishing, 503 again after a minute of
+// silence.
+func TestHealthzFreshAndStale(t *testing.T) {
+	clk := newFakeClock()
+	r := New(Config{Now: clk.now, Info: goldenInfo()})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	getHealth := func() (int, Health) {
+		t.Helper()
+		code, body, ctype := fetch(t, srv.URL+"/healthz")
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("content type %q, want JSON", ctype)
+		}
+		var h Health
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("healthz does not decode: %v\n%s", err, body)
+		}
+		return code, h
+	}
+
+	// Nothing published yet: unhealthy, but the endpoint must answer.
+	code, h := getHealth()
+	if code != http.StatusServiceUnavailable || h.OK {
+		t.Fatalf("pre-publish health = %d %+v, want 503 !ok", code, h)
+	}
+	if h.PublishAgeSecs >= 0 {
+		t.Fatalf("pre-publish age %v, want negative sentinel", h.PublishAgeSecs)
+	}
+
+	clk.advance(2 * time.Second)
+	r.Publish(goldenSnapshot().Counters)
+	r.NoteCheckpoint(12345)
+	clk.advance(5 * time.Second)
+	code, h = getHealth()
+	if code != http.StatusOK || !h.OK {
+		t.Fatalf("fresh health = %d %+v, want 200 ok", code, h)
+	}
+	if h.Execs != 12345 {
+		t.Errorf("health execs %d, want 12345", h.Execs)
+	}
+	if !h.CheckpointRecorded || h.CheckpointExecs != 12345 || h.CheckpointAgeSecs != 5 {
+		t.Errorf("checkpoint liveness %+v, want recorded at 12345 execs 5s ago", h)
+	}
+	if h.PublishAgeSecs != 5 {
+		t.Errorf("publish age %v, want 5s", h.PublishAgeSecs)
+	}
+
+	// A minute of silence wedges the probe.
+	clk.advance(healthStale + time.Second)
+	code, h = getHealth()
+	if code != http.StatusServiceUnavailable || h.OK {
+		t.Fatalf("stale health = %d %+v, want 503 !ok", code, h)
+	}
+}
+
+// TestHealthzFleetWorkers: with per-worker publishes, one stale worker
+// is flagged but does not fail the probe while another is fresh, and
+// the exec total aggregates across workers.
+func TestHealthzFleetWorkers(t *testing.T) {
+	clk := newFakeClock()
+	r := New(Config{Now: clk.now})
+	c := goldenSnapshot().Counters
+	c.Execs = 1000
+	r.PublishWorker(0, c)
+	clk.advance(healthStale + 10*time.Second) // worker 0 goes stale
+	c.Execs = 2000
+	r.PublishWorker(1, c)
+	clk.advance(time.Second)
+
+	h := r.health()
+	if !h.OK {
+		t.Fatalf("fleet with one fresh worker unhealthy: %+v", h)
+	}
+	if h.Execs != 3000 {
+		t.Errorf("aggregate execs %d, want 3000", h.Execs)
+	}
+	if len(h.Workers) != 2 {
+		t.Fatalf("%d worker rows, want 2", len(h.Workers))
+	}
+	byID := map[int]WorkerHealth{}
+	for _, w := range h.Workers {
+		byID[w.ID] = w
+	}
+	if !byID[0].Stale || byID[1].Stale {
+		t.Errorf("staleness flags wrong: %+v", h.Workers)
+	}
+}
+
+// TestGenealogyEndpoint: without a journal the endpoint 404s with a
+// hint; with one it renders the HTML report from the on-disk stream.
+func TestGenealogyEndpoint(t *testing.T) {
+	clk := newFakeClock()
+	r := New(Config{Now: clk.now, Info: goldenInfo()})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	code, body, _ := fetch(t, srv.URL+"/genealogy")
+	if code != http.StatusNotFound || !strings.Contains(body, "-journal") {
+		t.Fatalf("no-journal response = %d %q, want 404 with a hint", code, body)
+	}
+
+	dir := t.TempDir()
+	w, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(journal.Event{Kind: journal.KindStart, Feedback: "path", Engine: "bytecode"})
+	w.Emit(journal.Event{Kind: journal.KindNovelty, Stage: "seed", Entry: journal.Int(0),
+		Parent: journal.Int(-1), Cells: []uint32{1, 2}, Cov: 2, Len: 4})
+	w.Emit(journal.Event{Kind: journal.KindNovelty, Stage: "havoc", Entry: journal.Int(1),
+		Parent: journal.Int(0), Cells: []uint32{3}, Cov: 3, Len: 6, Execs: 500})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.SetJournalDir(w.Dir())
+
+	code, body, ctype := fetch(t, srv.URL+"/genealogy")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/html") {
+		t.Fatalf("genealogy status %d ctype %q", code, ctype)
+	}
+	for _, want := range []string{"discovery attribution", "genealogy", "flvmeta/path", "havoc"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("genealogy page missing %q", want)
+		}
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/journal"
 )
 
 // Handler returns the live-metrics endpoint:
@@ -13,15 +16,155 @@ import (
 //	/            minimal self-contained HTML dashboard
 //	/metrics     Prometheus text exposition (version 0.0.4)
 //	/snapshot.json  full JSON snapshot (counters, rates, series, stages)
+//	/healthz     liveness probe (JSON; 503 when publishing has stalled)
+//	/genealogy   provenance report rendered from the on-disk journal
 //
-// All handlers read only published snapshots and locked aggregates, so
-// serving them never touches campaign state.
+// All handlers read only published snapshots, locked aggregates, and
+// (for /genealogy) on-disk journal files, so serving them never touches
+// campaign state.
 func (r *Recorder) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", r.serveMetrics)
 	mux.HandleFunc("/snapshot.json", r.serveJSON)
+	mux.HandleFunc("/healthz", r.serveHealthz)
+	mux.HandleFunc("/genealogy", r.serveGenealogy)
 	mux.HandleFunc("/", r.serveDashboard)
 	return mux
+}
+
+// healthStale is how old the newest published snapshot may grow before
+// /healthz flips to 503: a fuzzing campaign publishes at every queue
+// boundary, so a minute of silence means the process is wedged, not
+// merely slow.
+const healthStale = 60 * time.Second
+
+// WorkerHealth is one worker's liveness row in the /healthz document.
+type WorkerHealth struct {
+	ID      int     `json:"id"`
+	Execs   int64   `json:"execs"`
+	AgeSecs float64 `json:"age_secs"`
+	Stale   bool    `json:"stale"`
+}
+
+// Health is the /healthz response document.
+type Health struct {
+	OK          bool    `json:"ok"`
+	ElapsedSecs float64 `json:"elapsed_secs"`
+	// PublishAgeSecs is the age of the newest published snapshot
+	// (campaign-level or any worker's); negative when nothing has been
+	// published yet.
+	PublishAgeSecs float64 `json:"publish_age_secs"`
+	Execs          int64   `json:"execs"`
+	// Checkpoint liveness: age of the last durable checkpoint and the
+	// exec counter it captured. Absent for non-durable campaigns.
+	CheckpointAgeSecs  float64        `json:"checkpoint_age_secs,omitempty"`
+	CheckpointExecs    int64          `json:"checkpoint_execs,omitempty"`
+	CheckpointRecorded bool           `json:"checkpoint_recorded"`
+	Workers            []WorkerHealth `json:"workers,omitempty"`
+}
+
+// health assembles the liveness document. A campaign is healthy when
+// someone — the single fuzzer or at least one fleet worker — has
+// published within healthStale. Individual stale workers are flagged
+// but do not fail the probe: the supervisor recycles them, and the
+// fleet as a whole is still making progress.
+func (r *Recorder) health() Health {
+	now := r.now()
+	h := Health{ElapsedSecs: r.Elapsed().Seconds(), PublishAgeSecs: -1}
+	freshest := time.Time{}
+	if s := r.Latest(); s != nil {
+		freshest = s.When
+		h.Execs = s.Execs
+	}
+	for _, w := range r.Workers() {
+		age := now.Sub(w.When)
+		h.Workers = append(h.Workers, WorkerHealth{
+			ID:      w.ID,
+			Execs:   w.Execs,
+			AgeSecs: age.Seconds(),
+			Stale:   age > healthStale,
+		})
+		if w.When.After(freshest) {
+			freshest = w.When
+		}
+	}
+	if len(h.Workers) > 0 {
+		h.Execs = r.AggregateWorkers().Execs
+	}
+	if !freshest.IsZero() {
+		h.PublishAgeSecs = now.Sub(freshest).Seconds()
+	}
+	if when, execs, ok := r.LastCheckpoint(); ok {
+		h.CheckpointRecorded = true
+		h.CheckpointAgeSecs = now.Sub(when).Seconds()
+		h.CheckpointExecs = execs
+	}
+	h.OK = !freshest.IsZero() && now.Sub(freshest) <= healthStale
+	return h
+}
+
+func (r *Recorder) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := r.health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+// serveGenealogy renders the provenance report from the on-disk journal
+// registered via SetJournalDir. Rendering from files — not live fuzzer
+// state — keeps the handler race-free against the fuzz goroutine; the
+// page is as fresh as the writer's last flush.
+func (r *Recorder) serveGenealogy(w http.ResponseWriter, _ *http.Request) {
+	dir := r.JournalDir()
+	if dir == "" {
+		http.Error(w, "no journal attached (run with -journal)", http.StatusNotFound)
+		return
+	}
+	events, diag, err := journal.ReadDir(dir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading journal: %v", err), http.StatusInternalServerError)
+		return
+	}
+	corpus := corpusFromEvents(events)
+	title := "pafuzz genealogy"
+	if info := r.Info(); info.Banner != "" {
+		title += " · " + info.Banner
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(journal.HTMLReport(title, diag.Dir, corpus, events))
+}
+
+// corpusFromEvents reconstructs corpus provenance from the journal's
+// novelty events — the live-dashboard path, where the queue itself is
+// owned by the fuzz goroutine and cannot be read safely.
+func corpusFromEvents(events []journal.Event) []journal.CorpusMeta {
+	var out []journal.CorpusMeta
+	for _, ev := range events {
+		if ev.Kind != journal.KindNovelty || ev.Entry == nil {
+			continue
+		}
+		m := journal.CorpusMeta{
+			Worker:     ev.Worker,
+			ID:         *ev.Entry,
+			Parent:     -1,
+			Stage:      ev.Stage,
+			Depth:      ev.Depth,
+			Steps:      ev.Steps,
+			FoundAt:    ev.Execs,
+			Len:        ev.Len,
+			CovCount:   ev.Cov,
+			FirstCells: ev.Cells,
+		}
+		if ev.Parent != nil {
+			m.Parent = *ev.Parent
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // promMetric is one exposition entry.

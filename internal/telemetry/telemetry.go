@@ -208,6 +208,15 @@ type Recorder struct {
 	spans  *spanStore
 	prev   *Snapshot // last sampled snapshot, for rate derivation
 	afl    *AFLOutput
+	// Last durable checkpoint (NoteCheckpoint), surfaced by /healthz:
+	// a durable campaign whose checkpoint age grows without bound is
+	// unhealthy even while its exec counter moves.
+	ckptWhen  time.Time
+	ckptExecs int64
+	// journalDir, when set, points /genealogy at the on-disk journal;
+	// the dashboard renders from files rather than live fuzzer state,
+	// which would race the fuzz goroutine.
+	journalDir string
 
 	// Per-worker snapshot slots for fleet campaigns. The map is guarded
 	// by wmu (slots are created once per worker); each slot is an atomic
@@ -340,6 +349,39 @@ func (r *Recorder) Info() Info {
 // Elapsed returns wall-clock time since the recorder started, offset
 // by any resumed base.
 func (r *Recorder) Elapsed() time.Duration { return r.base + r.now().Sub(r.start) }
+
+// NoteCheckpoint records that a durable checkpoint landed at the given
+// execution count. The campaign runner calls it after every successful
+// checkpoint write; /healthz reports the age.
+func (r *Recorder) NoteCheckpoint(execs int64) {
+	now := r.now()
+	r.mu.Lock()
+	r.ckptWhen, r.ckptExecs = now, execs
+	r.mu.Unlock()
+}
+
+// LastCheckpoint returns the most recent checkpoint note (ok=false
+// before the first one).
+func (r *Recorder) LastCheckpoint() (when time.Time, execs int64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckptWhen, r.ckptExecs, !r.ckptWhen.IsZero()
+}
+
+// SetJournalDir points the HTTP layer's /genealogy page at an on-disk
+// journal directory.
+func (r *Recorder) SetJournalDir(dir string) {
+	r.mu.Lock()
+	r.journalDir = dir
+	r.mu.Unlock()
+}
+
+// JournalDir returns the registered journal directory ("" when none).
+func (r *Recorder) JournalDir() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journalDir
+}
 
 // AttachAFLOutput opens (or resumes) the AFL-compatible fuzzer_stats
 // and plot_data files under dir; subsequent Sample calls append rows.
