@@ -13,7 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/evalharness"
@@ -112,7 +114,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	out := os.Stdout
+	// With -state the rendered tables also land in the state directory
+	// (eval_output.txt) next to the curves, provenance, and coverage
+	// reports, so a durable suite's artifacts are self-contained.
+	var out io.Writer = os.Stdout
+	if *stateDir != "" {
+		path := filepath.Join(*stateDir, "eval_output.txt")
+		if f, err := os.Create(path); err != nil {
+			fmt.Fprintf(os.Stderr, "evalsuite: cannot tee output: %v\n", err)
+		} else {
+			defer f.Close()
+			out = io.MultiWriter(os.Stdout, f)
+		}
+	}
 	emit := func(n int, f func()) {
 		if wantTable(n) {
 			f()

@@ -194,6 +194,7 @@ func main() {
 				Budget:   *budget,
 				PID:      os.Getpid(),
 			}, *stateDir, *metricsAddr)
+			attachCartography(rec, target.Prog, fb, 0, banner)
 			opts := fuzz.Options{
 				Feedback:        fb,
 				Profile:         profile,
@@ -408,6 +409,7 @@ func resumeCampaign(dir string, ckptEvery int64, showCrash bool, engine fuzz.Eng
 		Budget:   meta.Budget,
 		PID:      os.Getpid(),
 	}, dir, metricsAddr)
+	attachCartography(rec, target.Prog, fb, meta.MapSize, banner+"/"+meta.Fuzzer)
 	opts := fuzz.Options{
 		Feedback:        fb,
 		Profile:         profile,
@@ -499,6 +501,7 @@ func resumeFleetCampaign(dir string, fo fleet.Options, engine fuzz.Engine, metri
 		Budget:   meta.Budget,
 		PID:      os.Getpid(),
 	}, dir, metricsAddr)
+	attachCartography(rec, target.Prog, fb, meta.MapSize, banner+"/"+meta.Fuzzer+" (fleet)")
 	opts := fuzz.Options{
 		Feedback:        fb,
 		Profile:         profile,

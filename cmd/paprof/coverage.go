@@ -1,0 +1,181 @@
+// The cartography modes of paprof: `-explain` inverts a campaign's
+// final coverage map cell by cell (every observed cell → its program
+// meaning), `-coverage-report` renders the annotated-source coverage
+// report, per-function path-discovery counts, and the frontier
+// explorer. Both reconstruct the instrumentation layout offline from
+// checkpoint metadata — the campaign itself is never re-executed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/interproc"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/covmap"
+	"repro/internal/fleet"
+	"repro/internal/instrument"
+	"repro/internal/strategy"
+	"repro/internal/subjects"
+)
+
+// explainMeaningCap bounds per-cell meaning listings in -explain: a
+// heavily aliased path cell can carry hundreds of candidate paths, and
+// the count matters more than the full enumeration.
+const explainMeaningCap = 4
+
+// loadCampaignState reads the newest checkpoint(s) under dir — every
+// worker-N/ subdirectory for fleet state directories, the directory
+// itself otherwise — and returns the campaign metadata plus the union
+// of the final virgin-map cells.
+func loadCampaignState(dir string) (meta campaign.Meta, virgin []coverage.VirginCell, label string) {
+	fs := campaign.OSFS{}
+	if fleet.HasManifest(fs, dir) {
+		man, err := fleet.LoadManifest(fs, dir)
+		if err != nil {
+			fatalf("fleet manifest: %v", err)
+		}
+		for i := 0; i < man.Workers; i++ {
+			wdir := filepath.Join(dir, fmt.Sprintf("worker-%d", i))
+			ck, warns, err := campaign.LoadLatest(fs, wdir)
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "paprof: worker %d: %s\n", i, w)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paprof: worker %d: %v\n", i, err)
+				continue
+			}
+			virgin = append(virgin, ck.Snap.Virgin...)
+		}
+		return man.Meta, virgin, metaLabel(man.Meta) + " (fleet)"
+	}
+	ck, warns, err := campaign.LoadLatest(fs, dir)
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "paprof: %s\n", w)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return ck.Meta, ck.Snap.Virgin, metaLabel(ck.Meta)
+}
+
+// cartographyTarget reconstructs the fuzzed program from checkpoint
+// metadata, refusing drifted sources: a reverse index built against
+// different code would attribute cells to the wrong lines.
+func cartographyTarget(meta campaign.Meta) (*core.Target, error) {
+	switch {
+	case meta.Subject != "":
+		sub := subjects.Get(meta.Subject)
+		if sub == nil {
+			return nil, fmt.Errorf("checkpoint references unknown subject %q", meta.Subject)
+		}
+		prog, err := sub.Program()
+		if err != nil {
+			return nil, err
+		}
+		return core.FromProgram(prog), nil
+	case meta.Source != "":
+		src, err := os.ReadFile(meta.Source)
+		if err != nil {
+			return nil, fmt.Errorf("checkpointed source: %v", err)
+		}
+		sum := sha256.Sum256(src)
+		if got := hex.EncodeToString(sum[:]); got != meta.SourceSum {
+			return nil, fmt.Errorf("source %s changed since the campaign started (sha256 %s, checkpoint has %s); the map layout no longer matches", meta.Source, got, meta.SourceSum)
+		}
+		target, err := core.Compile(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("compile: %v", err)
+		}
+		return target, nil
+	}
+	return nil, fmt.Errorf("checkpoint names neither a subject nor a source file")
+}
+
+// cartographyIndex builds the reverse coverage-map index for a
+// campaign's exact instrumentation layout.
+func cartographyIndex(meta campaign.Meta) (*covmap.Index, error) {
+	fb, _, ok := strategy.SingleConfig(strategy.Name(meta.Fuzzer))
+	if !ok {
+		return nil, fmt.Errorf("configuration %q is not a single-feedback campaign; cartography needs one fixed map layout", meta.Fuzzer)
+	}
+	target, err := cartographyTarget(meta)
+	if err != nil {
+		return nil, err
+	}
+	mapSize := meta.MapSize
+	if mapSize == 0 {
+		mapSize = coverage.DefaultMapSize
+	}
+	return covmap.New(target.Prog, fb, instrument.Config{}, mapSize)
+}
+
+// runExplain prints the program meaning of every cell the campaign's
+// final virgin map has consumed. Exit status 1 if any observed cell
+// fails to resolve — that would mean the reverse index disagrees with
+// the runtime instrumentation.
+func runExplain(dir string) {
+	meta, virgin, label := loadCampaignState(dir)
+	ix, err := cartographyIndex(meta)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	obs := covmap.FromVirgin(virgin)
+	fmt.Printf("coverage map explanation: %s (feedback %s, map size %d)\n\n",
+		label, ix.Feedback, ix.MapSize)
+	unresolved := 0
+	for _, o := range obs {
+		ms := ix.Resolve(o.Cell)
+		if len(ms) == 0 {
+			unresolved++
+			fmt.Printf("%6d  buckets %08b  UNRESOLVED\n", o.Cell, o.Buckets)
+			continue
+		}
+		fmt.Printf("%6d  buckets %08b\n", o.Cell, o.Buckets)
+		for i, m := range ms {
+			if i == explainMeaningCap {
+				fmt.Printf("          … %d more candidate meanings\n", len(ms)-i)
+				break
+			}
+			fmt.Printf("          %s\n", ix.String(m))
+		}
+	}
+	fmt.Printf("\n%d cells observed, %d unresolved\n", len(obs), unresolved)
+	if unresolved > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCoverageReport renders the full cartography report: summary,
+// per-function table (including path-discovery counts), frontier
+// explorer, and annotated source. With htmlOut the same report is also
+// written as a self-contained HTML page. Exit status 1 if any observed
+// cell is unresolvable.
+func runCoverageReport(dir, htmlOut string) {
+	meta, virgin, label := loadCampaignState(dir)
+	ix, err := cartographyIndex(meta)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	obs := covmap.FromVirgin(virgin)
+	rep := ix.BuildReport(obs, covmap.Options{
+		Label: label,
+		Facts: interproc.ForProgram(ix.Prog),
+	})
+	rep.WriteText(os.Stdout)
+	if htmlOut != "" {
+		page := rep.WriteHTML("paprof coverage report")
+		if werr := os.WriteFile(htmlOut, page, 0o644); werr != nil {
+			fatalf("writing %s: %v", htmlOut, werr)
+		}
+		fmt.Printf("\nHTML report: %s\n", htmlOut)
+	}
+	if len(rep.Unresolved) > 0 {
+		os.Exit(1)
+	}
+}

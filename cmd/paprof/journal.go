@@ -76,7 +76,7 @@ func runJournal(dir string) {
 // discovery-attribution table, and path-rarity histogram. With htmlOut
 // the same report is written as a self-contained HTML page.
 func runGenealogy(dir, htmlOut string) {
-	corpus, label := loadProvenance(dir)
+	corpus, meta, label := loadProvenance(dir)
 	if len(corpus) == 0 {
 		fatalf("no corpus provenance under %s (no usable checkpoint?)", dir)
 	}
@@ -87,6 +87,15 @@ func runGenealogy(dir, htmlOut string) {
 	if jdir := filepath.Join(dir, "journal"); dirExists(jdir) {
 		events, _, _ = journal.ReadDir(jdir)
 	}
+	// The cell resolver is best-effort: genealogy must keep working for
+	// campaigns whose map layout cannot be reconstructed (multi-phase
+	// strategies, drifted sources) — those just render raw cell indices.
+	var resolve journal.CellResolver
+	if ix, err := cartographyIndex(meta); err == nil {
+		resolve = ix.CellLabel
+	} else {
+		fmt.Fprintf(os.Stderr, "paprof: no cell attribution: %v\n", err)
+	}
 	journal.Attribution(os.Stdout, label, corpus)
 	fmt.Println()
 	journal.Rarity(os.Stdout, corpus)
@@ -95,9 +104,11 @@ func runGenealogy(dir, htmlOut string) {
 	if len(events) > 0 {
 		fmt.Println()
 		journal.EventAttribution(os.Stdout, events)
+		fmt.Println()
+		journal.CoverageDelta(os.Stdout, events, resolve)
 	}
 	if htmlOut != "" {
-		page := journal.HTMLReport("paprof genealogy", label, corpus, events)
+		page := journal.HTMLReport("paprof genealogy", label, corpus, events, resolve)
 		if err := os.WriteFile(htmlOut, page, 0o644); err != nil {
 			fatalf("writing %s: %v", htmlOut, err)
 		}
@@ -107,8 +118,9 @@ func runGenealogy(dir, htmlOut string) {
 
 // loadProvenance reads corpus provenance from the newest checkpoint(s)
 // under dir: every worker-N/ subdirectory for fleet state directories,
-// the directory itself otherwise.
-func loadProvenance(dir string) (corpus []journal.CorpusMeta, label string) {
+// the directory itself otherwise. The campaign metadata rides along so
+// callers can reconstruct the coverage-map layout.
+func loadProvenance(dir string) (corpus []journal.CorpusMeta, meta campaign.Meta, label string) {
 	fs := campaign.OSFS{}
 	if fleet.HasManifest(fs, dir) {
 		man, err := fleet.LoadManifest(fs, dir)
@@ -127,7 +139,7 @@ func loadProvenance(dir string) (corpus []journal.CorpusMeta, label string) {
 			}
 			corpus = append(corpus, fuzz.SnapshotProvenance(ck.Snap, i)...)
 		}
-		return corpus, metaLabel(man.Meta) + " (fleet)"
+		return corpus, man.Meta, metaLabel(man.Meta) + " (fleet)"
 	}
 	ck, warns, err := campaign.LoadLatest(fs, dir)
 	for _, w := range warns {
@@ -136,7 +148,7 @@ func loadProvenance(dir string) (corpus []journal.CorpusMeta, label string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	return fuzz.SnapshotProvenance(ck.Snap, 0), metaLabel(ck.Meta)
+	return fuzz.SnapshotProvenance(ck.Snap, 0), ck.Meta, metaLabel(ck.Meta)
 }
 
 func metaLabel(meta campaign.Meta) string {

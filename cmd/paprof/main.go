@@ -47,7 +47,9 @@ func main() {
 		engineExecs = flag.Int("execs", 10000, "repeat count for the -engine profiling loop")
 		journalDir  = flag.String("journal", "", "validate and summarise a campaign's event journal (state dir or journal dir) and exit; exit status 1 on gaps or schema errors")
 		genealogy   = flag.String("genealogy", "", "render corpus genealogy, discovery attribution, and path rarity from a campaign (or fleet) state directory and exit")
-		htmlOut     = flag.String("html", "", "with -genealogy: also write the report as a self-contained HTML page to this file")
+		explainDir  = flag.String("explain", "", "print the source-level meaning of every observed coverage-map cell from a campaign (or fleet) state directory and exit; exit status 1 if any cell is unresolvable")
+		covReport   = flag.String("coverage-report", "", "render the annotated-source coverage report, per-function path-discovery counts, and frontier explorer from a campaign (or fleet) state directory and exit; exit status 1 if any observed cell is unresolvable")
+		htmlOut     = flag.String("html", "", "with -genealogy or -coverage-report: also write the report as a self-contained HTML page to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +61,14 @@ func main() {
 	}
 	if *genealogy != "" {
 		runGenealogy(*genealogy, *htmlOut)
+		return
+	}
+	if *explainDir != "" {
+		runExplain(*explainDir)
+		return
+	}
+	if *covReport != "" {
+		runCoverageReport(*covReport, *htmlOut)
 		return
 	}
 

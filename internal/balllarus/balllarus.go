@@ -26,12 +26,20 @@
 package balllarus
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/cfg"
 )
+
+// ErrPathOutOfRange is returned (wrapped) by Regenerate when the
+// requested path identifier is not in [0, NumPaths). Consumers
+// inverting a coverage map use it to distinguish a stale or colliding
+// map cell — an ID that simply does not belong to this function — from
+// a corrupt encoding, which reports a different error.
+var ErrPathOutOfRange = errors.New("path id out of range")
 
 // MaxPaths bounds the number of acyclic paths per function the encoder
 // accepts. Functions exceeding it (pathological branch ladders) cannot
@@ -399,11 +407,21 @@ type PathStep struct {
 }
 
 // Regenerate reconstructs the block sequence of the acyclic path with
-// the given identifier, inverting the numbering. It errors if id is out
-// of range.
+// the given identifier, inverting the numbering. IDs outside
+// [0, NumPaths) return an error wrapping ErrPathOutOfRange.
+//
+// Caveat for hashed path modes: functions whose path count exceeds
+// MaxPaths are never encoded — the tracer falls back to a rolling hash
+// over edge indices, and the values it records are hash buckets, not
+// Ball-Larus identifiers. Such values must not be passed here: they are
+// either out of range (reported honestly via ErrPathOutOfRange) or,
+// worse, collide with a legitimate ID of some other function and decode
+// to an unrelated path. Callers inverting a shared coverage map must
+// track which functions are in hash mode and treat their cells as
+// buckets, not decodable paths.
 func (e *Encoding) Regenerate(id uint64) ([]PathStep, error) {
 	if id >= e.NumPaths {
-		return nil, fmt.Errorf("path id %d out of range [0,%d)", id, e.NumPaths)
+		return nil, fmt.Errorf("path id %d not in [0,%d): %w", id, e.NumPaths, ErrPathOutOfRange)
 	}
 	rem := int64(id)
 	node := 0

@@ -1,0 +1,44 @@
+package evalharness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// TestSuiteWritesCovReports: a durable suite drops one coverage
+// cartography report per single-phase campaign, every cell resolved;
+// round-based strategies (no fixed map layout) are skipped.
+func TestSuiteWritesCovReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	dir := t.TempDir()
+	if _, err := RunSuite(durableCfg(dir, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := os.ReadDir(filepath.Join(dir, covReportDir))
+	if err != nil {
+		t.Fatalf("covreports dir: %v", err)
+	}
+	if len(names) != 2 { // 1 subject x {path} x 2 runs; cull has no fixed layout
+		t.Fatalf("want 2 coverage reports, got %d", len(names))
+	}
+	for run := 0; run < 2; run++ {
+		path := filepath.Join(dir, covReportDir, covReportFileName("flvmeta", strategy.Path, run))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing coverage report for run %d: %v", run, err)
+		}
+		text := string(data)
+		for _, want := range []string{"unresolved cells: 0", "frontier branches:", "annotated source"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s missing %q", path, want)
+			}
+		}
+	}
+}

@@ -245,6 +245,9 @@ func RunSuite(cfg Config) (*SuiteResult, error) {
 					if saveEr == nil {
 						saveEr = saveProvenance(cfg, rr)
 					}
+					if saveEr == nil {
+						saveEr = saveCovReport(cfg, rr)
+					}
 				}
 			}
 			mu.Lock()

@@ -128,6 +128,12 @@ type Snapshot struct {
 	JournalSeq uint64
 }
 
+// VirginCells returns the campaign's consumed virgin-map cells — every
+// coverage cell any recorded execution ever set, with the observed hit
+// buckets — for coverage cartography. Read-only; call at a safe point
+// (after Fuzz returns or between queue entries).
+func (f *Fuzzer) VirginCells() []coverage.VirginCell { return f.virgin.Cells() }
+
 // Snapshot captures the campaign state. It must be called at a safe
 // point: between queue entries (the checkpoint hook) or while the
 // fuzzer is not running.

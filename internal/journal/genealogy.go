@@ -249,6 +249,66 @@ func Rarity(w io.Writer, corpus []CorpusMeta) {
 	}
 }
 
+// CellResolver maps a coverage-map cell to a human-readable program
+// meaning ("edge main b2→b5 (line 14)"). Package covmap provides one
+// per ⟨subject, feedback⟩; journal stays a leaf package and only
+// renders what it is handed. A nil resolver renders raw cell indices.
+type CellResolver func(cell uint32) string
+
+// coverageDeltaCap bounds rendered novelty rows so a long campaign's
+// report stays readable; the cap is reported, never silent.
+const coverageDeltaCap = 500
+
+// CoverageDelta renders the per-cycle coverage-delta attribution
+// stream: which cells each novel input lit, grouped by queue cycle and
+// resolved to source meaning via the resolver. The underlying data is
+// the journaled novelty events' Cells payload — nothing here re-reads
+// fuzzer state.
+func CoverageDelta(w io.Writer, events []Event, resolve CellResolver) {
+	fmt.Fprintf(w, "coverage-delta attribution (cells each novel input lit):\n")
+	cycle := -1
+	rows, skipped := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindCycle:
+			cycle = ev.Cycle
+		case KindNovelty:
+			if rows >= coverageDeltaCap {
+				skipped++
+				continue
+			}
+			rows++
+			if cycle >= 0 {
+				fmt.Fprintf(w, "  cycle %d ", cycle)
+			} else {
+				fmt.Fprintf(w, "  warmup ")
+			}
+			entry := -1
+			if ev.Entry != nil {
+				entry = *ev.Entry
+			}
+			fmt.Fprintf(w, "exec %d %s entry #%d w%d: %d cells\n", ev.Execs, ev.Stage, entry, ev.Worker, len(ev.Cells))
+			for i, c := range ev.Cells {
+				if i >= 8 {
+					fmt.Fprintf(w, "    … %d more\n", len(ev.Cells)-i)
+					break
+				}
+				if resolve != nil {
+					fmt.Fprintf(w, "    %05d %s\n", c, resolve(c))
+				} else {
+					fmt.Fprintf(w, "    %05d\n", c)
+				}
+			}
+		}
+	}
+	if rows == 0 {
+		fmt.Fprintf(w, "  (no novelty events)\n")
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "  … %d further novelty events omitted\n", skipped)
+	}
+}
+
 // EventAttribution renders per-stage discovery counts straight from a
 // journal stream (novelty and crash events), for `paprof -journal`
 // where no checkpoint is at hand.
@@ -317,7 +377,9 @@ func ProvenanceCSV(corpus []CorpusMeta) []byte {
 
 // HTMLReport renders the genealogy, attribution, and rarity views as a
 // self-contained HTML page (the telemetry dashboard's /genealogy).
-func HTMLReport(title, label string, corpus []CorpusMeta, events []Event) []byte {
+// With a non-nil resolver and journaled events, a coverage-delta
+// attribution section resolves each novel input's cells to source.
+func HTMLReport(title, label string, corpus []CorpusMeta, events []Event, resolve CellResolver) []byte {
 	var b strings.Builder
 	b.WriteString("<!doctype html><html><head><meta charset=\"utf-8\"><title>")
 	b.WriteString(html.EscapeString(title))
@@ -362,6 +424,12 @@ th{color:#8cf} td.l,th.l{text-align:left} pre{color:#bbb}
 		var eb strings.Builder
 		EventAttribution(&eb, events)
 		b.WriteString(html.EscapeString(eb.String()))
+		b.WriteString("</pre>")
+
+		b.WriteString("<h2>coverage-delta attribution</h2><pre>")
+		var cb strings.Builder
+		CoverageDelta(&cb, events, resolve)
+		b.WriteString(html.EscapeString(cb.String()))
 		b.WriteString("</pre>")
 	}
 	fmt.Fprintf(&b, "<p>%s</p>", html.EscapeString(label))

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -126,7 +127,7 @@ func TestProvenanceCSV(t *testing.T) {
 
 func TestHTMLReport(t *testing.T) {
 	events := []Event{{Kind: KindNovelty, Stage: "havoc", Cells: []uint32{1}}}
-	page := string(HTMLReport("t<b>itle", "subj/fuzzer", sampleCorpus(), events))
+	page := string(HTMLReport("t<b>itle", "subj/fuzzer", sampleCorpus(), events, nil))
 	if !strings.HasPrefix(page, "<!doctype html>") || !strings.HasSuffix(page, "</body></html>") {
 		t.Fatalf("page not well-formed:\n%.120s...", page)
 	}
@@ -140,8 +141,42 @@ func TestHTMLReport(t *testing.T) {
 		}
 	}
 	// Without events the journal sections are omitted entirely.
-	bare := string(HTMLReport("t", "l", sampleCorpus(), nil))
+	bare := string(HTMLReport("t", "l", sampleCorpus(), nil, nil))
 	if strings.Contains(bare, "journal (") {
 		t.Fatal("event sections rendered with no events")
+	}
+}
+
+func TestCoverageDelta(t *testing.T) {
+	e3 := 3
+	events := []Event{
+		{Kind: KindNovelty, Stage: "seed", Execs: 1, Cells: []uint32{7}},
+		{Kind: KindCycle, Cycle: 2},
+		{Kind: KindNovelty, Stage: "havoc", Execs: 40, Entry: &e3, Worker: 1,
+			Cells: []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	var b strings.Builder
+	CoverageDelta(&b, events, func(c uint32) string { return fmt.Sprintf("meaning-%d", c) })
+	out := b.String()
+	for _, want := range []string{
+		"warmup exec 1 seed entry #-1 w0: 1 cells",
+		"00007 meaning-7",
+		"cycle 2 exec 40 havoc entry #3 w1: 10 cells",
+		"… 2 more",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CoverageDelta missing %q:\n%s", want, out)
+		}
+	}
+	// nil resolver renders raw indices; no events renders the marker.
+	b.Reset()
+	CoverageDelta(&b, events[:1], nil)
+	if !strings.Contains(b.String(), "    00007\n") {
+		t.Errorf("nil-resolver output:\n%s", b.String())
+	}
+	b.Reset()
+	CoverageDelta(&b, nil, nil)
+	if !strings.Contains(b.String(), "(no novelty events)") {
+		t.Errorf("empty output:\n%s", b.String())
 	}
 }

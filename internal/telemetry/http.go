@@ -28,6 +28,7 @@ func (r *Recorder) Handler() http.Handler {
 	mux.HandleFunc("/snapshot.json", r.serveJSON)
 	mux.HandleFunc("/healthz", r.serveHealthz)
 	mux.HandleFunc("/genealogy", r.serveGenealogy)
+	mux.HandleFunc("/coverage", r.serveCoverage)
 	mux.HandleFunc("/", r.serveDashboard)
 	return mux
 }
@@ -135,7 +136,34 @@ func (r *Recorder) serveGenealogy(w http.ResponseWriter, _ *http.Request) {
 		title += " · " + info.Banner
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	w.Write(journal.HTMLReport(title, diag.Dir, corpus, events))
+	w.Write(journal.HTMLReport(title, diag.Dir, corpus, events, r.resolver()))
+}
+
+// serveCoverage renders the coverage-cartography page through the
+// renderer registered via SetCoveragePage, feeding it the on-disk
+// journal's events (the same atomic snapshot/flush path /genealogy
+// reads). Display-only by construction: the handler touches files and
+// the offline reverse index, never the fuzz goroutine's state.
+func (r *Recorder) serveCoverage(w http.ResponseWriter, _ *http.Request) {
+	page := r.coverage()
+	if page == nil {
+		http.Error(w, "no coverage cartography attached (subject campaigns register it automatically)", http.StatusNotFound)
+		return
+	}
+	dir := r.JournalDir()
+	if dir == "" {
+		http.Error(w, "no journal attached (run with -journal)", http.StatusNotFound)
+		return
+	}
+	events, _, err := journal.ReadDir(dir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading journal: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := page(w, events); err != nil {
+		http.Error(w, fmt.Sprintf("rendering coverage: %v", err), http.StatusInternalServerError)
+	}
 }
 
 // corpusFromEvents reconstructs corpus provenance from the journal's
@@ -326,7 +354,8 @@ table{border-collapse:collapse;margin-top:1rem;font-variant-numeric:tabular-nums
 td,th{padding:3px 12px;text-align:right;border-bottom:1px solid #2a2e36}
 th{color:#8a8f98;font-weight:500}td:first-child,th:first-child{text-align:left}
 </style></head><body>
-<h1>pafuzz <small id="banner"></small></h1>
+<h1>pafuzz <small id="banner"></small>
+<small><a href="genealogy" style="color:#8a8f98">genealogy</a> · <a href="coverage" style="color:#8a8f98">coverage</a></small></h1>
 <div class="grid" id="cards"></div>
 <canvas id="spark" width="900" height="140"></canvas>
 <table id="stages"><thead><tr><th>stage</th><th>count</th><th>total</th><th>mean</th><th>max</th></tr></thead><tbody></tbody></table>

@@ -2,12 +2,15 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/journal"
 )
 
 func metricsServer(t *testing.T) (*Recorder, *httptest.Server) {
@@ -119,5 +122,57 @@ func TestMetricsBeforeFirstPublish(t *testing.T) {
 		if code, _, _ := fetch(t, srv.URL+path); code != http.StatusOK {
 			t.Errorf("%s before publish: status %d", path, code)
 		}
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	r, srv := metricsServer(t)
+
+	// Without a registered page the endpoint 404s rather than guessing.
+	if code, _, _ := fetch(t, srv.URL+"/coverage"); code != http.StatusNotFound {
+		t.Fatalf("/coverage with no page: status %d, want 404", code)
+	}
+
+	r.SetCoveragePage(func(w io.Writer, events []journal.Event) error {
+		fmt.Fprintf(w, "<!doctype html><html><body>coverage: %d events</body></html>", len(events))
+		return nil
+	})
+	// A page but no journal dir still 404s: there is nothing to render.
+	if code, _, _ := fetch(t, srv.URL+"/coverage"); code != http.StatusNotFound {
+		t.Fatalf("/coverage with no journal: status %d, want 404", code)
+	}
+
+	dir := t.TempDir()
+	jw, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Emit(journal.Event{Kind: journal.KindNovelty, Stage: "havoc", Cells: []uint32{1, 2}})
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.SetJournalDir(dir)
+	code, body, ctype := fetch(t, srv.URL+"/coverage")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/html") {
+		t.Fatalf("/coverage status %d ctype %q", code, ctype)
+	}
+	if !strings.Contains(body, "coverage: 1 events") {
+		t.Errorf("/coverage body %q", body)
+	}
+
+	// The dashboard links to the page.
+	if _, dash, _ := fetch(t, srv.URL+"/"); !strings.Contains(dash, `href="coverage"`) {
+		t.Error("dashboard has no coverage link")
+	}
+}
+
+func TestCellResolverRoundTrip(t *testing.T) {
+	r := New(Config{})
+	if r.resolver() != nil {
+		t.Fatal("fresh recorder has a resolver")
+	}
+	r.SetCellResolver(func(c uint32) string { return "x" })
+	if got := r.resolver()(7); got != "x" {
+		t.Fatalf("resolver() = %q", got)
 	}
 }

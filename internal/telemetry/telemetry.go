@@ -19,11 +19,14 @@
 package telemetry
 
 import (
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // Counters is the typed registry of campaign counters a fuzzer
@@ -217,6 +220,13 @@ type Recorder struct {
 	// the dashboard renders from files rather than live fuzzer state,
 	// which would race the fuzz goroutine.
 	journalDir string
+	// Coverage cartography hooks (display-only): cellResolver resolves
+	// journaled cells to source meaning on /genealogy; coveragePage
+	// renders the /coverage report from journaled events. Both are
+	// closures over offline state (program + reverse index), never live
+	// fuzzer internals.
+	cellResolver func(uint32) string
+	coveragePage func(w io.Writer, events []journal.Event) error
 
 	// Per-worker snapshot slots for fleet campaigns. The map is guarded
 	// by wmu (slots are created once per worker); each slot is an atomic
@@ -381,6 +391,38 @@ func (r *Recorder) JournalDir() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.journalDir
+}
+
+// SetCellResolver registers a coverage-cartography resolver used by
+// /genealogy (and /coverage) to render journaled map cells as source
+// meanings. The resolver must be a pure function over offline state
+// (program + reverse index), never live fuzzer internals.
+func (r *Recorder) SetCellResolver(f func(uint32) string) {
+	r.mu.Lock()
+	r.cellResolver = f
+	r.mu.Unlock()
+}
+
+func (r *Recorder) resolver() journal.CellResolver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cellResolver
+}
+
+// SetCoveragePage registers the /coverage page renderer: a closure that
+// receives the on-disk journal's events and writes a self-contained
+// HTML coverage report. Keeping the closure on the caller's side means
+// telemetry never depends on the cartography index directly.
+func (r *Recorder) SetCoveragePage(f func(w io.Writer, events []journal.Event) error) {
+	r.mu.Lock()
+	r.coveragePage = f
+	r.mu.Unlock()
+}
+
+func (r *Recorder) coverage() func(w io.Writer, events []journal.Event) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coveragePage
 }
 
 // AttachAFLOutput opens (or resumes) the AFL-compatible fuzzer_stats
